@@ -1,0 +1,99 @@
+// Command lsmgen generates a synthetic live-streaming-media workload with
+// the extended GISMO model of Veloso et al. (IMC 2002), serves it through
+// the simulated Windows Media Server, and writes daily log files.
+//
+// Usage:
+//
+//	lsmgen -out logs/ [-scale 150] [-days 7] [-seed 1] [-model model.json]
+//
+// The generated logs can then be characterized with lsmchar. With
+// -model the full model parameterization is also written as JSON so the
+// run can be reproduced or adjusted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/gismo"
+	"repro/internal/simulate"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "directory for daily log files (required)")
+		scale     = flag.Float64("scale", 150, "population/rate scale-down factor (1 = paper scale)")
+		days      = flag.Int("days", 7, "trace length in days")
+		seed      = flag.Int64("seed", 1, "random seed")
+		modelPath = flag.String("model", "", "optional path to write the model JSON")
+		loadPath  = flag.String("load", "", "optional model JSON to load instead of -scale/-days")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "lsmgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *scale, *days, *seed, *modelPath, *loadPath); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, days int, seed int64, modelPath, loadPath string) error {
+	var model gismo.Model
+	if loadPath != "" {
+		data, err := os.ReadFile(loadPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &model); err != nil {
+			return fmt.Errorf("parse model: %w", err)
+		}
+	} else {
+		m, err := gismo.Scaled(scale, days)
+		if err != nil {
+			return err
+		}
+		model = m
+	}
+	if err := model.Validate(); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Printf("generating: %d clients, %d-day horizon, seed %d\n",
+		model.NumClients, model.Horizon/86400, seed)
+	w, err := gismo.Generate(model, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Println(w)
+
+	res, err := simulate.Run(w, simulate.DefaultConfig(), rng)
+	if err != nil {
+		return err
+	}
+	files, err := res.WriteLogs(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("served %d transfers (peak concurrency %d, %d corrupt entries injected)\n",
+		res.Trace.NumTransfers(), res.PeakConcurrency, res.Injected)
+	fmt.Printf("wrote %d daily log files under %s\n", len(files), out)
+
+	if modelPath != "" {
+		data, err := json.MarshalIndent(model, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(modelPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", modelPath)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gismo"
+	"repro/internal/wmslog"
+)
+
+func TestRunGeneratesLogsAndModel(t *testing.T) {
+	dir := t.TempDir()
+	logDir := filepath.Join(dir, "logs")
+	modelPath := filepath.Join(dir, "model.json")
+
+	if err := run(logDir, 500, 2, 7, modelPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(logDir, "wms-*.log"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no logs written: %v", err)
+	}
+	entries, st, err := wmslog.ReadFiles(paths, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries == 0 || len(entries) == 0 {
+		t.Fatal("empty logs")
+	}
+
+	data, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m gismo.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("written model invalid: %v", err)
+	}
+	if m.Horizon != 2*86400 {
+		t.Errorf("horizon = %d", m.Horizon)
+	}
+}
+
+func TestRunLoadsModelJSON(t *testing.T) {
+	dir := t.TempDir()
+	m, err := gismo.Scaled(800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(modelPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(dir, "logs"), 0, 0, 1, "", modelPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.5, 2, 1, "", ""); err == nil {
+		t.Error("scale < 1: want error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, 100, 2, 1, "", bad); err == nil {
+		t.Error("bad model JSON: want error")
+	}
+	if err := run(dir, 100, 2, 1, "", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing model file: want error")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesArtifacts(t *testing.T) {
+	out := t.TempDir()
+	if err := run(600, 2, 9, out); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := os.ReadFile(filepath.Join(out, "comparisons.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(comp)
+	for _, want := range []string{"Figure 19", "transfer length lognormal mu", "Figure 13"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("comparisons.md missing %q", want)
+		}
+	}
+	dats, err := filepath.Glob(filepath.Join(out, "figures", "*.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dats) < 20 {
+		t.Errorf("only %d figure series", len(dats))
+	}
+}
+
+func TestRunWithoutOutdir(t *testing.T) {
+	if err := run(800, 2, 9, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run(0.1, 2, 9, ""); err == nil {
+		t.Error("scale < 1: want error")
+	}
+}

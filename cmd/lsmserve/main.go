@@ -1,0 +1,118 @@
+// Command lsmserve runs the live streaming media server standalone: a
+// TCP implementation of the minimal MMS-like protocol serving the two
+// reality-show feeds, logging completed transfers as Windows-Media-
+// Server-style entries.
+//
+// Usage:
+//
+//	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
+//
+// Connect with the liveserver client package or the livereplay example.
+// The server runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"repro/internal/liveserver"
+	"repro/internal/wmslog"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8555", "listen address")
+		logPath = flag.String("log", "", "optional path for WMS-style transfer log")
+		rate    = flag.Int("rate", 110000, "stream rate in bits/second")
+		maxConn = flag.Int("maxconns", 256, "maximum concurrent connections")
+	)
+	flag.Parse()
+	if err := run(*addr, *logPath, *rate, *maxConn); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, logPath string, rateBps, maxConns int) error {
+	cfg := liveserver.DefaultServerConfig()
+	cfg.MaxConns = maxConns
+	// Pick frame pacing for the requested rate at ~10 frames/second.
+	cfg.FrameInterval = 100 * time.Millisecond
+	cfg.FrameBytes = rateBps / 8 / 10
+	if cfg.FrameBytes < 64 {
+		cfg.FrameBytes = 64
+	}
+
+	var logMu sync.Mutex
+	var logWriter *wmslog.Writer
+	var logFile *os.File
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		logFile = f
+		logWriter = wmslog.NewWriter(f)
+		cfg.Sink = func(r liveserver.TransferRecord) {
+			entry := &wmslog.Entry{
+				Timestamp:    r.End,
+				ClientIP:     r.RemoteIP,
+				PlayerID:     r.PlayerID,
+				URIStem:      r.URI,
+				Duration:     int64(r.End.Sub(r.Start).Seconds()),
+				Bytes:        r.Bytes,
+				AvgBandwidth: bandwidthOf(r),
+				Status:       200,
+				Country:      "BR",
+				ASNumber:     1,
+			}
+			logMu.Lock()
+			defer logMu.Unlock()
+			if err := logWriter.Write(entry); err != nil {
+				fmt.Fprintln(os.Stderr, "lsmserve: log:", err)
+			}
+			logWriter.Flush()
+		}
+	}
+
+	srv, err := liveserver.Serve(addr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live streaming server on %s (%d bit/s, objects %v)\n",
+		srv.Addr(), rateBps, cfg.Objects)
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-interrupt:
+			fmt.Println("\nshutting down")
+			err := srv.Close()
+			if logFile != nil {
+				logMu.Lock()
+				logWriter.Flush()
+				logMu.Unlock()
+				logFile.Close()
+			}
+			return err
+		case <-ticker.C:
+			fmt.Printf("active=%d served=%d refused=%d\n",
+				srv.ActiveTransfers(), srv.ServedTransfers(), srv.RefusedConns())
+		}
+	}
+}
+
+func bandwidthOf(r liveserver.TransferRecord) int64 {
+	secs := r.End.Sub(r.Start).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return int64(float64(r.Bytes*8) / secs)
+}

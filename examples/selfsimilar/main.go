@@ -1,0 +1,80 @@
+// Self-similarity: the mechanism behind Section 5.3.
+//
+// The paper ties its transfer-length discussion to Crovella & Bestavros
+// (its reference [14]): aggregated heavy-tailed ON/OFF activity produces
+// self-similar traffic. This example demonstrates the mechanism with the
+// VBR substrate — it generates three aggregates with increasingly heavy
+// period tails plus a memoryless reference, estimates the Hurst parameter
+// of each with both estimators, and compares against the theoretical
+// H = (3 - alpha) / 2.
+//
+// Run with:
+//
+//	go run ./examples/selfsimilar
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/vbr"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2002))
+	const n = 1 << 16
+
+	tbl := &report.Table{
+		Title:   "Heavy-tailed ON/OFF aggregation and self-similarity (paper ref [14])",
+		Headers: []string{"Source", "Tail alpha", "H (theory)", "H (variance-time)", "H (R/S)"},
+	}
+
+	levels := stats.PowersOfTwo(1024)
+	blocks := []int{64, 128, 256, 512, 1024, 2048}
+
+	for _, alpha := range []float64{1.2, 1.5, 1.8} {
+		cfg := vbr.DefaultConfig()
+		cfg.Alpha = alpha
+		gen, err := vbr.NewGenerator(cfg)
+		fatal(err)
+		series := gen.ActiveSources(n, rng)
+		hVT, err := stats.VarianceTimeHurst(series, levels)
+		fatal(err)
+		hRS, err := stats.RSHurst(series, blocks)
+		fatal(err)
+		tbl.AddRow(
+			fmt.Sprintf("Pareto ON/OFF, alpha=%.1f", alpha),
+			fmt.Sprintf("%.1f", alpha),
+			fmt.Sprintf("%.2f", cfg.ExpectedHurst()),
+			fmt.Sprintf("%.2f", hVT),
+			fmt.Sprintf("%.2f", hRS),
+		)
+	}
+
+	refCfg := vbr.DefaultConfig()
+	ref := refCfg.PoissonReference(n, rng)
+	hVT, err := stats.VarianceTimeHurst(ref, levels)
+	fatal(err)
+	hRS, err := stats.RSHurst(ref, blocks)
+	fatal(err)
+	tbl.AddRow("memoryless reference", "-", "0.50",
+		fmt.Sprintf("%.2f", hVT), fmt.Sprintf("%.2f", hRS))
+
+	fatal(tbl.Render(os.Stdout))
+
+	fmt.Println()
+	fmt.Println("Heavier period tails (smaller alpha) push H toward 1 — long-range")
+	fmt.Println("dependence emerges from aggregation alone. For live media the heavy")
+	fmt.Println("tail is client stickiness rather than file size, but the aggregate")
+	fmt.Println("byte process inherits the same structure (Section 5.3).")
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

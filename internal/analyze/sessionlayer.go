@@ -1,0 +1,212 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/sessions"
+	"repro/internal/stats"
+)
+
+// SessionLayer is the Section 4 characterization: session ON/OFF times,
+// transfers per session, and intra-session transfer interarrivals.
+type SessionLayer struct {
+	// OnTimes holds l(i) for every session; OnFit is the lognormal body
+	// fit (Figure 11; paper: μ = 5.23553, σ = 1.54432) with OnKS its KS
+	// distance.
+	OnTimes []float64
+	OnFit   dist.Lognormal
+	OnKS    float64
+
+	// OffTimes holds f(i) for consecutive same-client sessions; OffFit is
+	// the exponential fit (Figure 12; paper: mean = 203,150 s) with OffKS
+	// its KS distance.
+	OffTimes []float64
+	OffFit   dist.Exponential
+	OffKS    float64
+
+	// TransfersPerSession holds each session's transfer count;
+	// PerSessionFit is its Zipf frequency fit (Figure 13; paper:
+	// α = 2.70417).
+	TransfersPerSession []int
+	PerSessionFit       dist.ZipfFit
+
+	// IntraArrivals holds the within-session transfer interarrival times;
+	// IntraFit is the lognormal fit (Figure 14; paper: μ = 4.89991,
+	// σ = 1.32074).
+	IntraArrivals []float64
+	IntraFit      dist.Lognormal
+	IntraKS       float64
+
+	// OnByHour is the mean session ON time by starting hour of day
+	// (Figure 10); OnHourSlope/OnHourR2 quantify the (weak) correlation.
+	OnByHour    [24]float64
+	OnHourSlope float64
+	OnHourR2    float64
+}
+
+// AnalyzeSessionLayer runs the Section 4 pipeline.
+func AnalyzeSessionLayer(set *sessions.Set) (*SessionLayer, error) {
+	if set.Count() == 0 {
+		return nil, fmt.Errorf("%w: empty session set", ErrBadInput)
+	}
+	out := &SessionLayer{
+		OnTimes:       set.OnTimes(),
+		OffTimes:      set.OffTimes(),
+		IntraArrivals: set.IntraSessionInterarrivals(),
+	}
+	out.TransfersPerSession = set.TransfersPerSession()
+
+	// Lognormal fit on display values (⌊t+1⌋): the log resolution floor
+	// makes sub-second ON times display as 1 s.
+	onDisplay := InterarrivalDisplay(out.OnTimes)
+	fit, err := dist.FitLognormal(onDisplay)
+	if err != nil {
+		return nil, fmt.Errorf("session ON fit: %w", err)
+	}
+	out.OnFit = fit
+	if out.OnKS, err = dist.KolmogorovSmirnov(onDisplay, fit.CDF); err != nil {
+		return nil, err
+	}
+
+	if len(out.OffTimes) > 0 {
+		offFit, err := dist.FitExponential(out.OffTimes)
+		if err != nil {
+			return nil, fmt.Errorf("session OFF fit: %w", err)
+		}
+		out.OffFit = offFit
+		if out.OffKS, err = dist.KolmogorovSmirnov(out.OffTimes, offFit.CDF); err != nil {
+			return nil, err
+		}
+	}
+
+	if out.PerSessionFit, err = dist.FitZipfFrequencies(perSessionFrequencies(out.TransfersPerSession)); err != nil {
+		return nil, fmt.Errorf("transfers-per-session fit: %w", err)
+	}
+
+	if len(out.IntraArrivals) >= 2 {
+		intraDisplay := InterarrivalDisplay(out.IntraArrivals)
+		intraFit, err := dist.FitLognormal(intraDisplay)
+		if err != nil {
+			return nil, fmt.Errorf("intra-session fit: %w", err)
+		}
+		out.IntraFit = intraFit
+		if out.IntraKS, err = dist.KolmogorovSmirnov(intraDisplay, intraFit.CDF); err != nil {
+			return nil, err
+		}
+	}
+
+	out.computeOnByHour(set)
+	return out, nil
+}
+
+// countFrequencies converts transfer-count observations into a frequency
+// vector indexed by value: element k-1 is the fraction of sessions with
+// exactly k transfers. This is the x-axis of Figure 13 (frequency versus
+// number of transfers per session), which the paper fits to a Zipf law in
+// the session count itself.
+func countFrequencies(counts []int) []float64 {
+	maxV := 0
+	for _, c := range counts {
+		if c > maxV {
+			maxV = c
+		}
+	}
+	freq := make([]float64, maxV)
+	for _, c := range counts {
+		if c >= 1 {
+			freq[c-1]++
+		}
+	}
+	total := float64(len(counts))
+	for i := range freq {
+		freq[i] /= total
+	}
+	return freq
+}
+
+// perSessionFrequencies prepares the Figure 13 frequency vector for the
+// Zipf regression. Bins holding fewer than minObs observations are
+// dropped: single-occurrence deep-tail bins flatten the log-log slope at
+// small sample sizes (a pure estimation artifact that vanishes at the
+// paper's 1.5M-session scale). If the filter leaves too few points the
+// unfiltered vector is used.
+func perSessionFrequencies(counts []int) []float64 {
+	freq := countFrequencies(counts)
+	const minObs = 5
+	threshold := float64(minObs) / float64(len(counts))
+	filtered := make([]float64, len(freq))
+	kept := 0
+	for i, f := range freq {
+		if f >= threshold {
+			filtered[i] = f
+			kept++
+		}
+	}
+	if kept < 3 {
+		return freq
+	}
+	return filtered
+}
+
+// computeOnByHour evaluates mean ON time per session starting hour and
+// the regression of ON time on hour (Figure 10's weak correlation).
+func (sl *SessionLayer) computeOnByHour(set *sessions.Set) {
+	var sums, counts [24]float64
+	hours := make([]float64, 0, set.Count())
+	ons := make([]float64, 0, set.Count())
+	for _, s := range set.Sessions {
+		h := int((s.Start % 86400) / 3600)
+		if h < 0 {
+			h = 0
+		}
+		on := float64(s.On())
+		sums[h] += on
+		counts[h]++
+		hours = append(hours, float64(h))
+		ons = append(ons, on)
+	}
+	for h := 0; h < 24; h++ {
+		if counts[h] > 0 {
+			sl.OnByHour[h] = sums[h] / counts[h]
+		}
+	}
+	if slope, _, r2, err := dist.LinearRegression(hours, ons); err == nil {
+		sl.OnHourSlope = slope
+		sl.OnHourR2 = r2
+	}
+}
+
+// OffRipples inspects the session OFF distribution for the daily revisit
+// ripples the paper observes ("around 1 day, 2 days, 3 days"): it returns
+// the fraction of OFF times that land within tolerance of each multiple
+// of a day, up to maxDays.
+func (sl *SessionLayer) OffRipples(maxDays int, tolerance float64) []float64 {
+	out := make([]float64, maxDays)
+	if len(sl.OffTimes) == 0 {
+		return out
+	}
+	for _, off := range sl.OffTimes {
+		for d := 1; d <= maxDays; d++ {
+			center := float64(d) * 86400
+			if off >= center-tolerance && off <= center+tolerance {
+				out[d-1]++
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(sl.OffTimes))
+	}
+	return out
+}
+
+// OnMarginal returns the ECDF of session ON display values for plotting
+// Figure 11's cumulative and CCDF panels.
+func (sl *SessionLayer) OnMarginal() *stats.ECDF {
+	return stats.NewECDF(InterarrivalDisplay(sl.OnTimes))
+}
+
+// OffMarginal returns the ECDF of session OFF times (Figure 12).
+func (sl *SessionLayer) OffMarginal() *stats.ECDF {
+	return stats.NewECDF(sl.OffTimes)
+}

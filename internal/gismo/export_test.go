@@ -1,0 +1,6 @@
+package gismo
+
+import "repro/internal/rate"
+
+// rateRealityShow re-exports the profile constructor for tests.
+var rateRealityShow = rate.RealityShow

@@ -1,0 +1,212 @@
+package gismo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Request is one generated transfer request: client ID, live object, start
+// time, and requested length (seconds). The simulator turns requests into
+// served transfers and log entries.
+type Request struct {
+	Client   int
+	Object   int
+	Start    int64 // seconds since trace start
+	Duration int64 // seconds
+}
+
+// End returns Start + Duration.
+func (r Request) End() int64 { return r.Start + r.Duration }
+
+// Workload is a fully generated synthetic workload: the client population
+// plus the request stream in start order.
+type Workload struct {
+	Model      Model
+	Population *Population
+	Requests   []Request
+	// SessionCount is the number of generated sessions (one per client
+	// arrival).
+	SessionCount int
+}
+
+// Generate runs the Section 6 generative model:
+//
+//  1. Client arrivals are drawn from a piecewise-stationary Poisson
+//     process modulated by the diurnal/weekly profile (Table 2 rows 1–2).
+//  2. Each arrival is bound to a client by a Zipf interest draw
+//     (Table 2 row 3).
+//  3. The session's transfer count is a Zipf draw (row 4); the first
+//     transfer starts at the session arrival instant, subsequent starts
+//     are separated by lognormal gaps (row 5).
+//  4. Each transfer's length is a lognormal draw (row 6), truncated at
+//     the trace horizon.
+func Generate(m Model, rng *rand.Rand) (*Workload, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	profile, err := m.profile()
+	if err != nil {
+		return nil, err
+	}
+	rateFn, err := m.effectiveRate(profile.Rate, rng)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := dist.NewPiecewisePoisson(rateFn, m.PoissonWindow)
+	if err != nil {
+		return nil, err
+	}
+	interest, err := dist.NewZipf(m.Interest.Alpha, m.Interest.N)
+	if err != nil {
+		return nil, err
+	}
+	perSession, err := dist.NewZipf(m.TransfersPerSession.Alpha, m.TransfersPerSession.N)
+	if err != nil {
+		return nil, err
+	}
+	gap, err := m.gapSampler()
+	if err != nil {
+		return nil, err
+	}
+	length, err := m.lengthSampler()
+	if err != nil {
+		return nil, err
+	}
+	pop, err := NewPopulation(m.NumClients, m.Topology, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	arrivals := pp.Arrivals(rng, float64(m.Horizon), nil)
+	w := &Workload{
+		Model:        m,
+		Population:   pop,
+		Requests:     make([]Request, 0, len(arrivals)*2),
+		SessionCount: len(arrivals),
+	}
+	// A client's interest rank doubles as its identity: rank r maps to
+	// client r-1. A fixed random permutation would decorrelate identity
+	// from rank; the dense mapping keeps Figure 7's rank axis meaningful.
+	for _, at := range arrivals {
+		client := interest.SampleRank(rng) - 1
+		w.generateSession(rng, client, int64(at), perSession, gap, length)
+	}
+	sort.Slice(w.Requests, func(i, j int) bool {
+		if w.Requests[i].Start != w.Requests[j].Start {
+			return w.Requests[i].Start < w.Requests[j].Start
+		}
+		return w.Requests[i].Client < w.Requests[j].Client
+	})
+	return w, nil
+}
+
+// effectiveRate composes the periodic profile with the model's
+// non-periodic structure: per-day lognormal audience variability
+// (mean-one, so the expected session count is preserved), the premiere
+// ramp-up of the first RampUpDays days, and in-show event bursts
+// (Section 3.2's object-driven variability; with the default dose the
+// bursts add ~8% to the mean rate).
+func (m *Model) effectiveRate(base func(float64) float64, rng *rand.Rand) (func(float64) float64, error) {
+	days := int(m.Horizon/86400) + 1
+	factors := make([]float64, days)
+	adjust := -0.5 * m.DayVariability * m.DayVariability
+	for i := range factors {
+		factors[i] = 1
+		if m.DayVariability > 0 {
+			factors[i] = math.Exp(m.DayVariability*rng.NormFloat64() + adjust)
+		}
+	}
+	ramp := func(t float64) float64 { return 1 }
+	if m.RampUpDays > 0 {
+		// Exponential ramp: floor at t=0, 1 at t = RampUpDays.
+		logFloor := math.Log(m.RampUpFloor)
+		horizon := m.RampUpDays * 86400
+		ramp = func(t float64) float64 {
+			if t >= horizon {
+				return 1
+			}
+			return math.Exp(logFloor * (1 - t/horizon))
+		}
+	}
+	schedule, err := ScheduleEvents(m.Events, m.Horizon, rng)
+	if err != nil {
+		return nil, err
+	}
+	return func(t float64) float64 {
+		d := int(t / 86400)
+		f := 1.0
+		if d >= 0 && d < len(factors) {
+			f = factors[d]
+		}
+		return base(t) * f * ramp(t) * schedule.Boost(t)
+	}, nil
+}
+
+// generateSession emits the transfers of one session beginning at start.
+func (w *Workload) generateSession(rng *rand.Rand, client int, start int64, perSession *dist.Zipf, gap, length dist.Lognormal) {
+	n := perSession.SampleRank(rng)
+	t := start
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			t += int64(gap.Sample(rng))
+		}
+		if t >= w.Model.Horizon {
+			return
+		}
+		d := int64(length.Sample(rng))
+		if d < 1 {
+			d = 1
+		}
+		if t+d > w.Model.Horizon {
+			d = w.Model.Horizon - t
+			if d < 1 {
+				return
+			}
+		}
+		w.Requests = append(w.Requests, Request{
+			Client:   client,
+			Object:   w.pickObject(rng),
+			Start:    t,
+			Duration: d,
+		})
+	}
+}
+
+// pickObject selects a live object: object 0 with probability
+// FeedPreference, otherwise uniform over the rest.
+func (w *Workload) pickObject(rng *rand.Rand) int {
+	if w.Model.NumObjects == 1 {
+		return 0
+	}
+	if rng.Float64() < w.Model.FeedPreference {
+		return 0
+	}
+	return 1 + rng.Intn(w.Model.NumObjects-1)
+}
+
+// ExpectedSessions returns the expected number of sessions the arrival
+// process produces over the model horizon.
+func ExpectedSessions(m Model) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	profile, err := m.profile()
+	if err != nil {
+		return 0, err
+	}
+	pp, err := dist.NewPiecewisePoisson(profile.Rate, m.PoissonWindow)
+	if err != nil {
+		return 0, err
+	}
+	return pp.ExpectedCount(float64(m.Horizon)), nil
+}
+
+// String summarizes the workload.
+func (w *Workload) String() string {
+	return fmt.Sprintf("gismo workload: %d clients, %d sessions, %d requests over %d s",
+		w.Population.Size(), w.SessionCount, len(w.Requests), w.Model.Horizon)
+}

@@ -1,0 +1,137 @@
+package liveserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// Client is one media player connected to the streaming server.
+type Client struct {
+	conn   net.Conn
+	reader *bufio.Reader
+	player string
+}
+
+// TransferResult summarizes one completed transfer from the client side.
+type TransferResult struct {
+	URI      string
+	Duration time.Duration
+	Bytes    int64
+	Frames   int
+}
+
+// Dial connects and performs the HELLO handshake.
+func Dial(addr, playerID string) (*Client, error) {
+	if playerID == "" || strings.ContainsAny(playerID, " \t\n") {
+		return nil, fmt.Errorf("%w: bad player ID %q", ErrProtocol, playerID)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("liveserver: dial: %w", err)
+	}
+	c := &Client{conn: conn, reader: bufio.NewReaderSize(conn, 64*1024), player: playerID}
+	if err := c.send("HELLO " + playerID); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.expect("OK HELLO"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Watch runs one transfer: START the object, receive frames for the given
+// wall-clock duration, then STOP and drain to END. The STOP is sent by a
+// timer goroutine (net.Conn writes are safe for concurrent use), so the
+// read loop never has to poll.
+func (c *Client) Watch(uri string, duration time.Duration) (TransferResult, error) {
+	res := TransferResult{URI: uri}
+	if err := c.send("START " + uri); err != nil {
+		return res, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := readLine(c.reader)
+	if err != nil {
+		return res, err
+	}
+	if !strings.HasPrefix(line, "OK START ") {
+		return res, fmt.Errorf("%w: server said %q", ErrProtocol, strings.TrimSpace(line))
+	}
+
+	begin := time.Now()
+	stop := time.AfterFunc(duration, func() { _ = c.send("STOP") })
+	defer stop.Stop()
+
+	// The whole transfer must finish within the requested duration plus a
+	// generous drain allowance.
+	c.conn.SetReadDeadline(time.Now().Add(duration + 10*time.Second))
+	defer c.conn.SetReadDeadline(time.Time{})
+
+	buf := make([]byte, MaxFrameBytes)
+	for {
+		line, err := readLine(c.reader)
+		if err != nil {
+			return res, fmt.Errorf("liveserver: read frame header: %w", err)
+		}
+		switch {
+		case strings.HasPrefix(line, "DATA "):
+			n, err := parseDataHeader(line)
+			if err != nil {
+				return res, err
+			}
+			if _, err := io.ReadFull(c.reader, buf[:n]); err != nil {
+				return res, fmt.Errorf("liveserver: frame payload: %w", err)
+			}
+			res.Bytes += int64(n)
+			res.Frames++
+		case strings.HasPrefix(line, "END "):
+			bytes, frames, err := parseEnd(line)
+			if err != nil {
+				return res, err
+			}
+			if bytes != res.Bytes || frames != res.Frames {
+				return res, fmt.Errorf("%w: server counted %d bytes / %d frames, client saw %d / %d",
+					ErrProtocol, bytes, frames, res.Bytes, res.Frames)
+			}
+			res.Duration = time.Since(begin)
+			return res, nil
+		case strings.HasPrefix(line, "ERR "):
+			return res, fmt.Errorf("%w: server error: %s", ErrProtocol, strings.TrimSpace(line))
+		default:
+			return res, fmt.Errorf("%w: unexpected line %q", ErrProtocol, strings.TrimSpace(line))
+		}
+	}
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	_ = c.send("QUIT")
+	c.conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = readLine(c.reader) // best-effort OK BYE
+	return c.conn.Close()
+}
+
+func (c *Client) send(line string) error {
+	c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		return fmt.Errorf("liveserver: send %q: %w", line, err)
+	}
+	return nil
+}
+
+func (c *Client) expect(want string) error {
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := readLine(c.reader)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != want {
+		return fmt.Errorf("%w: expected %q, got %q", ErrProtocol, want, strings.TrimSpace(line))
+	}
+	return nil
+}

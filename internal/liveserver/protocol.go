@@ -1,0 +1,127 @@
+// Package liveserver is a working wire implementation of the live
+// streaming service the paper measured: a TCP server that streams live
+// object data to media clients over a minimal MMS-like control protocol,
+// plus a client and a workload replayer.
+//
+// The discrete-event simulator (package simulate) is how paper-scale
+// traces are produced; this package is the complement for small-scale
+// end-to-end validation — real sockets, real concurrency, real
+// backpressure — so the logging, sessionization and characterization
+// pipeline can be exercised against genuinely concurrent network I/O.
+// Workloads replay in compressed time (e.g. 1 trace hour per wall
+// second).
+//
+// # Wire protocol
+//
+// The control channel is line-oriented text; stream data is length-
+// prefixed binary. All lines end in '\n'.
+//
+//	C: HELLO <player-id>
+//	S: OK HELLO
+//	C: START <uri>
+//	S: OK START <uri>
+//	S: DATA <n>        (followed by n raw bytes; repeated)
+//	C: STOP            (any time after START)
+//	S: END <bytes> <frames>
+//	C: QUIT
+//	S: OK BYE
+//
+// Any protocol violation produces "ERR <reason>" and closes the
+// connection.
+package liveserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Protocol limits.
+const (
+	// MaxLineBytes bounds a control line.
+	MaxLineBytes = 512
+	// MaxFrameBytes bounds one DATA frame.
+	MaxFrameBytes = 64 * 1024
+)
+
+// ErrProtocol reports a wire-protocol violation.
+var ErrProtocol = errors.New("liveserver: protocol error")
+
+// command is one parsed control line.
+type command struct {
+	verb string // HELLO, START, STOP, QUIT
+	arg  string // player ID or URI, if any
+}
+
+// parseCommand parses one control line from a client.
+func parseCommand(line string) (command, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) == 0 {
+		return command{}, fmt.Errorf("%w: empty command", ErrProtocol)
+	}
+	verb, arg, _ := strings.Cut(line, " ")
+	switch verb {
+	case "HELLO", "START":
+		if arg == "" || strings.ContainsAny(arg, " \t") {
+			return command{}, fmt.Errorf("%w: %s needs one argument", ErrProtocol, verb)
+		}
+		return command{verb: verb, arg: arg}, nil
+	case "STOP", "QUIT":
+		if arg != "" {
+			return command{}, fmt.Errorf("%w: %s takes no argument", ErrProtocol, verb)
+		}
+		return command{verb: verb}, nil
+	default:
+		return command{}, fmt.Errorf("%w: unknown verb %q", ErrProtocol, verb)
+	}
+}
+
+// readLine reads one bounded control line.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > MaxLineBytes {
+		return "", fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineBytes)
+	}
+	return line, nil
+}
+
+// parseDataHeader parses a "DATA <n>" server line.
+func parseDataHeader(line string) (int, error) {
+	line = strings.TrimRight(line, "\r\n")
+	rest, ok := strings.CutPrefix(line, "DATA ")
+	if !ok {
+		return 0, fmt.Errorf("%w: expected DATA header, got %q", ErrProtocol, line)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 || n > MaxFrameBytes {
+		return 0, fmt.Errorf("%w: bad DATA length %q", ErrProtocol, rest)
+	}
+	return n, nil
+}
+
+// parseEnd parses an "END <bytes> <frames>" server line.
+func parseEnd(line string) (bytes int64, frames int, err error) {
+	line = strings.TrimRight(line, "\r\n")
+	rest, ok := strings.CutPrefix(line, "END ")
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: expected END, got %q", ErrProtocol, line)
+	}
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%w: bad END %q", ErrProtocol, line)
+	}
+	bytes, err = strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || bytes < 0 {
+		return 0, 0, fmt.Errorf("%w: bad END bytes %q", ErrProtocol, parts[0])
+	}
+	frames, err = strconv.Atoi(parts[1])
+	if err != nil || frames < 0 {
+		return 0, 0, fmt.Errorf("%w: bad END frames %q", ErrProtocol, parts[1])
+	}
+	return bytes, frames, nil
+}

@@ -1,0 +1,193 @@
+package liveserver
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gismo"
+	"repro/internal/wmslog"
+)
+
+// ReplayConfig parameterizes a compressed-time workload replay.
+type ReplayConfig struct {
+	// Compression is trace seconds per wall second (e.g. 600 replays one
+	// trace hour in six wall seconds).
+	Compression float64
+	// MaxTransfers caps the number of requests replayed (0 = all).
+	MaxTransfers int
+	// Concurrency bounds simultaneous in-flight transfers.
+	Concurrency int
+	// MinWatch is the minimum wall-clock watch time per transfer, so
+	// heavily compressed transfers still exchange at least one frame.
+	MinWatch time.Duration
+}
+
+// DefaultReplayConfig compresses 10 trace minutes into one wall second.
+func DefaultReplayConfig() ReplayConfig {
+	return ReplayConfig{
+		Compression:  600,
+		MaxTransfers: 200,
+		Concurrency:  32,
+		MinWatch:     120 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *ReplayConfig) Validate() error {
+	if c.Compression <= 0 {
+		return fmt.Errorf("%w: compression %v", ErrProtocol, c.Compression)
+	}
+	if c.MaxTransfers < 0 {
+		return fmt.Errorf("%w: max transfers %d", ErrProtocol, c.MaxTransfers)
+	}
+	if c.Concurrency < 1 {
+		return fmt.Errorf("%w: concurrency %d", ErrProtocol, c.Concurrency)
+	}
+	if c.MinWatch <= 0 {
+		return fmt.Errorf("%w: min watch %v", ErrProtocol, c.MinWatch)
+	}
+	return nil
+}
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	Attempted int
+	Completed int
+	Failed    int
+	Bytes     int64
+	// Wall is the wall-clock duration of the replay.
+	Wall time.Duration
+}
+
+// Replay drives the workload's request stream against a live server in
+// compressed time: each request becomes a real TCP client that HELLOs as
+// its player, STARTs its object, watches for the compressed duration,
+// and STOPs. Failures (connection refused at capacity, protocol errors)
+// are counted, not fatal — mirroring the lost-viewer semantics of live
+// content.
+func Replay(addr string, w *gismo.Workload, cfg ReplayConfig) (*ReplayResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil || len(w.Requests) == 0 {
+		return nil, fmt.Errorf("%w: empty workload", ErrProtocol)
+	}
+	requests := w.Requests
+	if cfg.MaxTransfers > 0 && len(requests) > cfg.MaxTransfers {
+		requests = requests[:cfg.MaxTransfers]
+	}
+
+	res := &ReplayResult{Attempted: len(requests)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	begin := time.Now()
+	origin := requests[0].Start
+
+	for _, req := range requests {
+		wallAt := time.Duration(float64(req.Start-origin) / cfg.Compression * float64(time.Second))
+		wallDur := time.Duration(float64(req.Duration) / cfg.Compression * float64(time.Second))
+		if wallDur < cfg.MinWatch {
+			wallDur = cfg.MinWatch
+		}
+		wg.Add(1)
+		go func(req gismo.Request, wallAt, wallDur time.Duration) {
+			defer wg.Done()
+			if sleep := time.Until(begin.Add(wallAt)); sleep > 0 {
+				time.Sleep(sleep)
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			player := w.Population.Clients[req.Client].PlayerID
+			bytes, err := replayOne(addr, player, gismoURI(req.Object), wallDur)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Failed++
+				return
+			}
+			res.Completed++
+			res.Bytes += bytes
+		}(req, wallAt, wallDur)
+	}
+	wg.Wait()
+	res.Wall = time.Since(begin)
+	return res, nil
+}
+
+func replayOne(addr, player, uri string, watch time.Duration) (int64, error) {
+	c, err := Dial(addr, player)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	tr, err := c.Watch(uri, watch)
+	if err != nil {
+		return 0, err
+	}
+	return tr.Bytes, nil
+}
+
+// gismoURI mirrors simulate.ObjectURI without importing the simulator.
+func gismoURI(object int) string {
+	return fmt.Sprintf("/live/feed%d", object+1)
+}
+
+// EntriesFromRecords converts server transfer records captured during a
+// replay into Windows-Media-Server-style log entries with trace-time
+// timestamps: wall time is decompressed back into trace seconds from the
+// replay origin.
+func EntriesFromRecords(records []TransferRecord, w *gismo.Workload, epoch, replayStart time.Time, compression float64, rng *rand.Rand) ([]*wmslog.Entry, error) {
+	if compression <= 0 {
+		return nil, fmt.Errorf("%w: compression %v", ErrProtocol, compression)
+	}
+	byPlayer := make(map[string]*gismo.Client, w.Population.Size())
+	for i := range w.Population.Clients {
+		c := &w.Population.Clients[i]
+		byPlayer[c.PlayerID] = c
+	}
+	entries := make([]*wmslog.Entry, 0, len(records))
+	for _, r := range records {
+		client, ok := byPlayer[r.PlayerID]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown player %q in record", ErrProtocol, r.PlayerID)
+		}
+		traceEnd := int64(r.End.Sub(replayStart).Seconds() * compression)
+		traceDur := int64(r.End.Sub(r.Start).Seconds() * compression)
+		if traceDur < 1 {
+			traceDur = 1
+		}
+		if traceEnd < traceDur {
+			traceEnd = traceDur
+		}
+		bw := int64(0)
+		if traceDur > 0 {
+			bw = r.Bytes * 8 * int64(compression) / traceDur
+		}
+		entries = append(entries, &wmslog.Entry{
+			Timestamp:    epoch.Add(time.Duration(traceEnd) * time.Second),
+			ClientIP:     client.Placement.IP,
+			PlayerID:     r.PlayerID,
+			ClientOS:     client.OS,
+			ClientCPU:    client.CPU,
+			URIStem:      r.URI,
+			Duration:     traceDur,
+			Bytes:        r.Bytes,
+			AvgBandwidth: bw,
+			PacketsLost:  0,
+			ServerCPU:    rng.Float64(),
+			Referer:      "http://show.example.br/aovivo",
+			Status:       200,
+			ASNumber:     client.Placement.ASIndex + 1,
+			Country:      client.Placement.Country,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Timestamp.Before(entries[j].Timestamp)
+	})
+	return entries, nil
+}

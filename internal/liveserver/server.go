@@ -1,0 +1,325 @@
+package liveserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TransferRecord is what the server logs when a transfer ends — the
+// material a wmslog.Entry is built from in the replay pipeline.
+type TransferRecord struct {
+	PlayerID string
+	RemoteIP string
+	URI      string
+	Start    time.Time
+	End      time.Time
+	Bytes    int64
+	Frames   int
+}
+
+// ServerConfig parameterizes the streaming server.
+type ServerConfig struct {
+	// FrameBytes is the payload size of one DATA frame.
+	FrameBytes int
+	// FrameInterval is the wall-clock pacing between frames; together
+	// with FrameBytes it sets the stream rate.
+	FrameInterval time.Duration
+	// MaxConns bounds concurrently served connections; further accepts
+	// are closed immediately (the paper's point: live viewers cannot be
+	// deferred, so this is capacity exhaustion made visible).
+	MaxConns int
+	// Objects lists the valid live-object URIs.
+	Objects []string
+	// Sink receives a record for every completed transfer. May be nil.
+	Sink func(TransferRecord)
+}
+
+// DefaultServerConfig streams ~110 kbit/s in 1,375-byte frames.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		FrameBytes:    1375,
+		FrameInterval: 100 * time.Millisecond,
+		MaxConns:      256,
+		Objects:       []string{"/live/feed1", "/live/feed2"},
+	}
+}
+
+// Server is the live streaming media server.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	active  atomic.Int64 // concurrently streaming transfers
+	served  atomic.Int64 // completed transfers
+	refused atomic.Int64 // connections refused at MaxConns
+
+	payload []byte // shared frame payload
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.FrameBytes <= 0 || cfg.FrameBytes > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: frame bytes %d", ErrProtocol, cfg.FrameBytes)
+	}
+	if cfg.FrameInterval <= 0 {
+		return nil, fmt.Errorf("%w: frame interval %v", ErrProtocol, cfg.FrameInterval)
+	}
+	if cfg.MaxConns < 1 {
+		return nil, fmt.Errorf("%w: max conns %d", ErrProtocol, cfg.MaxConns)
+	}
+	if len(cfg.Objects) == 0 {
+		return nil, fmt.Errorf("%w: no objects", ErrProtocol)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("liveserver: listen: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		payload: make([]byte, cfg.FrameBytes),
+	}
+	for i := range s.payload {
+		s.payload[i] = byte('A' + i%26)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ActiveTransfers returns the number of currently streaming transfers.
+func (s *Server) ActiveTransfers() int64 { return s.active.Load() }
+
+// ServedTransfers returns the number of completed transfers.
+func (s *Server) ServedTransfers() int64 { return s.served.Load() }
+
+// RefusedConns returns the number of connections refused at capacity.
+func (s *Server) RefusedConns() int64 { return s.refused.Load() }
+
+// Close stops accepting, closes every connection, and waits for the
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			s.refused.Add(1)
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// handle runs one connection's control state machine. Control commands
+// are read by a dedicated goroutine and forwarded over a channel so the
+// streaming loop can notice STOP between frames.
+func (s *Server) handle(conn net.Conn) {
+	reader := bufio.NewReaderSize(conn, 4096)
+	writer := bufio.NewWriterSize(conn, 32*1024)
+
+	cmds := make(chan command)
+	errs := make(chan error, 1)
+	go func() {
+		defer close(cmds)
+		for {
+			line, err := readLine(reader)
+			if err != nil {
+				errs <- err
+				return
+			}
+			cmd, err := parseCommand(line)
+			if err != nil {
+				errs <- err
+				return
+			}
+			cmds <- cmd
+		}
+	}()
+
+	sendErr := func(reason string) {
+		fmt.Fprintf(writer, "ERR %s\n", reason)
+		writer.Flush()
+	}
+
+	var playerID string
+	remoteIP := remoteIPOf(conn)
+	for {
+		cmd, ok := <-cmds
+		if !ok {
+			return
+		}
+		switch cmd.verb {
+		case "HELLO":
+			if playerID != "" {
+				sendErr("duplicate HELLO")
+				return
+			}
+			playerID = cmd.arg
+			fmt.Fprintf(writer, "OK HELLO\n")
+			if err := writer.Flush(); err != nil {
+				return
+			}
+		case "START":
+			if playerID == "" {
+				sendErr("HELLO required before START")
+				return
+			}
+			if !s.validObject(cmd.arg) {
+				sendErr("unknown object " + cmd.arg)
+				return
+			}
+			if err := s.stream(conn, writer, cmds, playerID, remoteIP, cmd.arg); err != nil {
+				return
+			}
+		case "STOP":
+			sendErr("STOP without active transfer")
+			return
+		case "QUIT":
+			fmt.Fprintf(writer, "OK BYE\n")
+			writer.Flush()
+			return
+		}
+	}
+}
+
+// stream serves one transfer: frames at the configured pace until the
+// client sends STOP (or disconnects).
+func (s *Server) stream(conn net.Conn, writer *bufio.Writer, cmds <-chan command, playerID, remoteIP, uri string) error {
+	fmt.Fprintf(writer, "OK START %s\n", uri)
+	if err := writer.Flush(); err != nil {
+		return err
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	start := time.Now()
+	var sent int64
+	var frames int
+	ticker := time.NewTicker(s.cfg.FrameInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case cmd, ok := <-cmds:
+			if !ok {
+				return io.EOF // client went away mid-stream
+			}
+			switch cmd.verb {
+			case "STOP":
+				fmt.Fprintf(writer, "END %d %d\n", sent, frames)
+				if err := writer.Flush(); err != nil {
+					return err
+				}
+				s.served.Add(1)
+				s.emit(playerID, remoteIP, uri, start, sent, frames)
+				return nil
+			case "QUIT":
+				return io.EOF
+			default:
+				fmt.Fprintf(writer, "ERR %s during transfer\n", cmd.verb)
+				writer.Flush()
+				return fmt.Errorf("%w: %s during transfer", ErrProtocol, cmd.verb)
+			}
+		case <-ticker.C:
+			fmt.Fprintf(writer, "DATA %d\n", len(s.payload))
+			if _, err := writer.Write(s.payload); err != nil {
+				return err
+			}
+			if err := writer.Flush(); err != nil {
+				return err
+			}
+			sent += int64(len(s.payload))
+			frames++
+		}
+	}
+}
+
+func (s *Server) emit(playerID, remoteIP, uri string, start time.Time, bytes int64, frames int) {
+	if s.cfg.Sink == nil {
+		return
+	}
+	s.cfg.Sink(TransferRecord{
+		PlayerID: playerID,
+		RemoteIP: remoteIP,
+		URI:      uri,
+		Start:    start,
+		End:      time.Now(),
+		Bytes:    bytes,
+		Frames:   frames,
+	})
+}
+
+func (s *Server) validObject(uri string) bool {
+	for _, o := range s.cfg.Objects {
+		if o == uri {
+			return true
+		}
+	}
+	return false
+}
+
+func remoteIPOf(conn net.Conn) string {
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	if i := strings.LastIndexByte(addr, ':'); i > 0 {
+		return addr[:i]
+	}
+	return addr
+}

@@ -1,0 +1,77 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// The paper's two live objects each carried "(audio and video) feeds
+// captured from one of 48 different cameras embedded in the environment
+// surrounding the contestants" (Section 2.1). The camera in use is
+// editorial state on the server side — it does not change the logged URI —
+// but it drives the content dynamics that make live access object-driven.
+// FeedSchedule models it so examples can correlate audience behaviour with
+// camera activity.
+
+// NumCameras is the paper's camera count.
+const NumCameras = 48
+
+// CameraSwitch is one scheduled switch of a live object to a camera.
+type CameraSwitch struct {
+	At     int64 // seconds since trace start
+	Camera int   // 0-based camera index
+}
+
+// FeedSchedule is the camera timeline of one live object.
+type FeedSchedule struct {
+	Object   int
+	Switches []CameraSwitch // sorted by At; first entry at 0
+}
+
+// NewFeedSchedule generates a camera timeline over [0, horizon): switches
+// arrive as a Poisson process with the given mean dwell time (seconds per
+// camera), choosing a uniformly random next camera.
+func NewFeedSchedule(object int, horizon int64, meanDwell float64, rng *rand.Rand) (*FeedSchedule, error) {
+	if horizon <= 0 || meanDwell <= 0 {
+		return nil, fmt.Errorf("%w: horizon=%d meanDwell=%v", ErrBadConfig, horizon, meanDwell)
+	}
+	fs := &FeedSchedule{Object: object}
+	t := int64(0)
+	cam := rng.Intn(NumCameras)
+	for t < horizon {
+		fs.Switches = append(fs.Switches, CameraSwitch{At: t, Camera: cam})
+		t += int64(rng.ExpFloat64()*meanDwell) + 1
+		next := rng.Intn(NumCameras - 1)
+		if next >= cam {
+			next++ // uniform over the other 47 cameras
+		}
+		cam = next
+	}
+	return fs, nil
+}
+
+// CameraAt returns the camera active at time t (clamped to the schedule).
+func (fs *FeedSchedule) CameraAt(t int64) int {
+	i := sort.Search(len(fs.Switches), func(i int) bool {
+		return fs.Switches[i].At > t
+	})
+	if i == 0 {
+		return fs.Switches[0].Camera
+	}
+	return fs.Switches[i-1].Camera
+}
+
+// DwellTimes returns the duration each switch remained active, with the
+// final switch running to the horizon.
+func (fs *FeedSchedule) DwellTimes(horizon int64) []float64 {
+	out := make([]float64, 0, len(fs.Switches))
+	for i, sw := range fs.Switches {
+		end := horizon
+		if i+1 < len(fs.Switches) {
+			end = fs.Switches[i+1].At
+		}
+		out = append(out, float64(end-sw.At))
+	}
+	return out
+}

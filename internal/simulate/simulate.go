@@ -1,0 +1,309 @@
+// Package simulate is the discrete-event Windows-Media-Server stand-in:
+// it serves a generated request stream (package gismo), models each
+// transfer's bandwidth and the server's CPU load, and emits both an
+// in-memory trace (package trace) and Windows-Media-Server-style log
+// entries (package wmslog).
+//
+// The paper's trace came from a production server the authors could not
+// release; this simulator is the substitution (see DESIGN.md). It
+// preserves the behaviours the characterization depends on:
+//
+//   - unicast transfers only (the server's multicast was disabled);
+//   - bimodal transfer bandwidth — client-bound spikes at access-link
+//     speeds plus a ~10% congestion-bound low mode (Figure 20);
+//   - server CPU that stays below 10% except under extreme concurrency
+//     (Section 2.4's sanity check);
+//   - 1-second log timestamp resolution, entries written at transfer end;
+//   - daily log harvests, plus an optional injection of corrupt
+//     "spanning" entries like the multi-harvest artifacts the paper had
+//     to sanitize away.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/gismo"
+	"repro/internal/trace"
+	"repro/internal/wmslog"
+)
+
+// ErrBadConfig reports invalid simulator configuration.
+var ErrBadConfig = errors.New("simulate: bad config")
+
+// Config parameterizes the server model.
+type Config struct {
+	// CongestionFrac is the probability that a transfer is congestion-
+	// bound rather than client-bound. The paper estimates "around 10% of
+	// all transfers were congestion-bound" (Section 5.4).
+	CongestionFrac float64
+	// CongestionMu/CongestionSigma are the lognormal parameters of the
+	// congestion-bound bandwidth mode, in log-bits/second.
+	CongestionMu, CongestionSigma float64
+	// BandwidthJitter is the relative jitter applied to client-bound
+	// bandwidth (access-link speed), smearing the Figure 20 spikes.
+	BandwidthJitter float64
+	// EncodingBps caps the effective payload rate used for byte
+	// accounting: a live stream cannot deliver more payload than its
+	// encoding rate even over a fast link.
+	EncodingBps int64
+	// CPUPerTransfer is the server CPU percentage consumed per concurrent
+	// transfer; CPUNoise adds measurement jitter.
+	CPUPerTransfer float64
+	CPUNoise       float64
+	// LossPerKbps scales packet loss with congestion severity.
+	BaseLossRate float64
+
+	// SpanningPerMillion injects, per million genuine transfers, one
+	// corrupt entry whose duration exceeds the trace period — the
+	// multi-harvest artifacts of Section 2.4. Zero disables injection.
+	SpanningPerMillion int
+
+	// Epoch is the wall-clock instant of trace second 0 for log entries.
+	Epoch time.Time
+}
+
+// DefaultConfig returns the calibrated server model.
+func DefaultConfig() Config {
+	return Config{
+		CongestionFrac:     0.10,
+		CongestionMu:       math.Log(9000), // ~9 kbit/s center
+		CongestionSigma:    1.0,
+		BandwidthJitter:    0.04,
+		EncodingBps:        110000, // ~110 kbit/s effective payload
+		CPUPerTransfer:     0.002,  // 2,500 concurrent transfers -> 5% CPU
+		CPUNoise:           0.3,
+		BaseLossRate:       0.001,
+		SpanningPerMillion: 40,
+		Epoch:              wmslog.TraceEpoch,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.CongestionFrac < 0 || c.CongestionFrac > 1 {
+		return fmt.Errorf("%w: congestion fraction %v", ErrBadConfig, c.CongestionFrac)
+	}
+	if c.CongestionSigma <= 0 {
+		return fmt.Errorf("%w: congestion sigma %v", ErrBadConfig, c.CongestionSigma)
+	}
+	if c.BandwidthJitter < 0 || c.BandwidthJitter >= 1 {
+		return fmt.Errorf("%w: bandwidth jitter %v", ErrBadConfig, c.BandwidthJitter)
+	}
+	if c.EncodingBps <= 0 {
+		return fmt.Errorf("%w: encoding rate %d", ErrBadConfig, c.EncodingBps)
+	}
+	if c.CPUPerTransfer < 0 || c.CPUNoise < 0 {
+		return fmt.Errorf("%w: CPU model", ErrBadConfig)
+	}
+	if c.SpanningPerMillion < 0 {
+		return fmt.Errorf("%w: spanning injection %d", ErrBadConfig, c.SpanningPerMillion)
+	}
+	if c.Epoch.IsZero() {
+		return fmt.Errorf("%w: zero epoch", ErrBadConfig)
+	}
+	return nil
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Trace *trace.Trace
+	// Entries are the log entries in timestamp (transfer end) order,
+	// including any injected corrupt entries.
+	Entries []*wmslog.Entry
+	// PeakConcurrency is the maximum number of simultaneously active
+	// transfers observed.
+	PeakConcurrency int
+	// Injected counts corrupt spanning entries added to Entries.
+	Injected int
+}
+
+// Run serves the workload and returns the resulting trace and log.
+func Run(w *gismo.Workload, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil || len(w.Requests) == 0 {
+		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
+	}
+
+	concurrency := newConcurrencyTracker(len(w.Requests))
+	transfers := make([]trace.Transfer, 0, len(w.Requests))
+	entries := make([]*wmslog.Entry, 0, len(w.Requests))
+
+	for _, req := range w.Requests {
+		client := &w.Population.Clients[req.Client]
+		conc := concurrency.admit(req.Start, req.End())
+		cpu := cfg.cpuAt(conc, rng)
+		bw, congested := cfg.drawBandwidth(client.Access.Bps, rng)
+		payload := bw
+		if payload > cfg.EncodingBps {
+			payload = cfg.EncodingBps
+		}
+		bytes := payload * req.Duration / 8
+		loss := cfg.drawLoss(req.Duration, congested, rng)
+
+		transfers = append(transfers, trace.Transfer{
+			Client:    req.Client,
+			IP:        client.Placement.IP,
+			AS:        client.Placement.ASIndex + 1,
+			Country:   client.Placement.Country,
+			Object:    req.Object,
+			Start:     req.Start,
+			Duration:  req.Duration,
+			Bytes:     bytes,
+			Bandwidth: bw,
+			ServerCPU: cpu,
+		})
+		entries = append(entries, &wmslog.Entry{
+			Timestamp:    cfg.Epoch.Add(time.Duration(req.End()) * time.Second),
+			ClientIP:     client.Placement.IP,
+			PlayerID:     client.PlayerID,
+			ClientOS:     client.OS,
+			ClientCPU:    client.CPU,
+			URIStem:      ObjectURI(req.Object),
+			Duration:     req.Duration,
+			Bytes:        bytes,
+			AvgBandwidth: bw,
+			PacketsLost:  loss,
+			ServerCPU:    cpu,
+			Referer:      "http://show.example.br/aovivo",
+			Status:       200,
+			ASNumber:     client.Placement.ASIndex + 1,
+			Country:      client.Placement.Country,
+		})
+	}
+
+	injected := cfg.injectSpanning(w, entries, rng)
+	entries = append(entries, injected...)
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Timestamp.Before(entries[j].Timestamp)
+	})
+
+	tr, err := trace.New(w.Model.Horizon, transfers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Trace:           tr,
+		Entries:         entries,
+		PeakConcurrency: concurrency.peak,
+		Injected:        len(injected),
+	}, nil
+}
+
+// injectSpanning fabricates the corrupt multi-harvest entries of
+// Section 2.4: durations longer than the whole trace period.
+func (c *Config) injectSpanning(w *gismo.Workload, genuine []*wmslog.Entry, rng *rand.Rand) []*wmslog.Entry {
+	if c.SpanningPerMillion == 0 || len(genuine) == 0 {
+		return nil
+	}
+	n := len(genuine) * c.SpanningPerMillion / 1_000_000
+	if n == 0 && rng.Float64() < float64(len(genuine)*c.SpanningPerMillion%1_000_000)/1_000_000 {
+		n = 1
+	}
+	out := make([]*wmslog.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		src := genuine[rng.Intn(len(genuine))]
+		dup := *src
+		dup.Duration = w.Model.Horizon + int64(rng.Intn(1_000_000)) + 1
+		dup.Bytes = dup.Duration * 1000
+		out = append(out, &dup)
+	}
+	return out
+}
+
+// WriteLogs streams the result's entries through a DailyWriter rooted at
+// dir, mirroring the paper's daily log harvests. It returns the file
+// paths written.
+func (r *Result) WriteLogs(dir string) ([]string, error) {
+	dw, err := wmslog.NewDailyWriter(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range r.Entries {
+		if err := dw.Write(e); err != nil {
+			dw.Close()
+			return nil, err
+		}
+	}
+	if err := dw.Close(); err != nil {
+		return nil, err
+	}
+	return dw.Files(), nil
+}
+
+// ObjectURI renders the live-object URI logged for object index i.
+func ObjectURI(i int) string {
+	return fmt.Sprintf("/live/feed%d", i+1)
+}
+
+// concurrencyTracker tracks the number of active transfers as requests
+// are admitted in start order, using a min-heap of end times.
+type concurrencyTracker struct {
+	ends endHeap
+	peak int
+}
+
+func newConcurrencyTracker(capacity int) *concurrencyTracker {
+	return &concurrencyTracker{ends: make(endHeap, 0, capacity/16+1)}
+}
+
+// admit registers a transfer [start, end) and returns the concurrency
+// level including it. Requests must arrive in non-decreasing start order.
+func (c *concurrencyTracker) admit(start, end int64) int {
+	for len(c.ends) > 0 && c.ends[0] <= start {
+		c.ends.pop()
+	}
+	c.ends.push(end)
+	if len(c.ends) > c.peak {
+		c.peak = len(c.ends)
+	}
+	return len(c.ends)
+}
+
+// endHeap is a minimal int64 min-heap (no container/heap interface
+// overhead on the hot path).
+type endHeap []int64
+
+func (h *endHeap) push(v int64) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *endHeap) pop() int64 {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l] < (*h)[smallest] {
+			smallest = l
+		}
+		if r < n && (*h)[r] < (*h)[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,321 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gismo"
+	"repro/internal/trace"
+	"repro/internal/wmslog"
+)
+
+func testWorkload(t *testing.T, seed int64) *gismo.Workload {
+	t.Helper()
+	m, err := gismo.Scaled(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gismo.Generate(m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDefaultConfigValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.CongestionFrac = -0.1 },
+		func(c *Config) { c.CongestionFrac = 1.1 },
+		func(c *Config) { c.CongestionSigma = 0 },
+		func(c *Config) { c.BandwidthJitter = -0.1 },
+		func(c *Config) { c.BandwidthJitter = 1 },
+		func(c *Config) { c.EncodingBps = 0 },
+		func(c *Config) { c.CPUPerTransfer = -1 },
+		func(c *Config) { c.CPUNoise = -1 },
+		func(c *Config) { c.SpanningPerMillion = -1 },
+		func(c *Config) { c.Epoch = time.Time{} },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+func TestRunProducesConsistentTraceAndEntries(t *testing.T) {
+	w := testWorkload(t, 1)
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 0
+	res, err := Run(w, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumTransfers() != len(w.Requests) {
+		t.Fatalf("trace has %d transfers, want %d", res.Trace.NumTransfers(), len(w.Requests))
+	}
+	if len(res.Entries) != len(w.Requests) {
+		t.Fatalf("%d entries, want %d", len(res.Entries), len(w.Requests))
+	}
+	if res.PeakConcurrency < 1 {
+		t.Error("peak concurrency must be at least 1")
+	}
+	for _, e := range res.Entries {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid entry: %v", err)
+		}
+		if e.URIStem != "/live/feed1" && e.URIStem != "/live/feed2" {
+			t.Fatalf("bad URI %q", e.URIStem)
+		}
+	}
+	// Entries timestamp-sorted.
+	for i := 1; i < len(res.Entries); i++ {
+		if res.Entries[i].Timestamp.Before(res.Entries[i-1].Timestamp) {
+			t.Fatal("entries not sorted by timestamp")
+		}
+	}
+}
+
+func TestRunRejectsEmptyWorkload(t *testing.T) {
+	if _, err := Run(nil, DefaultConfig(), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	w := testWorkload(t, 1)
+	cfg := DefaultConfig()
+	cfg.EncodingBps = 0
+	if _, err := Run(w, cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestBandwidthBimodal(t *testing.T) {
+	w := testWorkload(t, 3)
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 0
+	res, err := Run(w, cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var congested, clientBound int
+	for _, tr := range res.Trace.Transfers {
+		if tr.Bandwidth < 20000 {
+			congested++
+		}
+		// Within jitter of an access class speed?
+		for _, ac := range gismo.AccessClasses {
+			if math.Abs(float64(tr.Bandwidth-ac.Bps))/float64(ac.Bps) <= cfg.BandwidthJitter+1e-9 {
+				clientBound++
+				break
+			}
+		}
+	}
+	n := float64(res.Trace.NumTransfers())
+	if frac := float64(congested) / n; frac < 0.05 || frac > 0.16 {
+		t.Errorf("congestion-bound fraction = %v, want ~0.10 (Figure 20)", frac)
+	}
+	if frac := float64(clientBound) / n; frac < 0.85 {
+		t.Errorf("client-bound fraction = %v, want ~0.90", frac)
+	}
+}
+
+func TestServerStaysUnloaded(t *testing.T) {
+	w := testWorkload(t, 5)
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 0
+	res, err := Run(w, cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := res.Trace.AuditServerLoad(10)
+	if audit.TransferBelowFrac < 0.99 {
+		t.Errorf("transfers below 10%% CPU = %v, want >= 0.99 (Section 2.4)", audit.TransferBelowFrac)
+	}
+	if audit.TimeBelowFrac < 0.99 {
+		t.Errorf("time below 10%% CPU = %v, want >= 0.99", audit.TimeBelowFrac)
+	}
+}
+
+func TestSpanningInjection(t *testing.T) {
+	w := testWorkload(t, 7)
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 100000 // 10% for a visible sample
+	res, err := Run(w, cfg, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 {
+		t.Fatal("no spanning entries injected at 10% rate")
+	}
+	var spanning int
+	for _, e := range res.Entries {
+		if e.Duration > w.Model.Horizon {
+			spanning++
+		}
+	}
+	if spanning != res.Injected {
+		t.Errorf("spanning entries in log = %d, injected = %d", spanning, res.Injected)
+	}
+	// The sanitization pipeline must drop exactly the injected ones.
+	tr, err := trace.FromEntries(res.Entries, cfg.Epoch, w.Model.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, report := tr.Sanitize()
+	if report.DroppedSpanning != res.Injected {
+		t.Errorf("sanitize dropped %d spanning, want %d", report.DroppedSpanning, res.Injected)
+	}
+	if clean.NumTransfers() != len(w.Requests) {
+		t.Errorf("clean trace has %d transfers, want %d", clean.NumTransfers(), len(w.Requests))
+	}
+}
+
+func TestWriteLogsRoundTrip(t *testing.T) {
+	w := testWorkload(t, 9)
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 0
+	res, err := Run(w, cfg, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files, err := res.WriteLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected multiple daily files, got %v", files)
+	}
+	entries, st, err := wmslog.ReadFiles(files, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 0 {
+		t.Errorf("malformed lines: %d", st.Malformed)
+	}
+	if len(entries) != len(res.Entries) {
+		t.Fatalf("read %d entries, wrote %d", len(entries), len(res.Entries))
+	}
+	// Round trip into a trace must preserve transfer count and durations.
+	tr, err := trace.FromEntries(entries, cfg.Epoch, w.Model.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTransfers() != res.Trace.NumTransfers() {
+		t.Errorf("trace transfers: %d vs %d", tr.NumTransfers(), res.Trace.NumTransfers())
+	}
+	if tr.NumClients() != res.Trace.NumClients() {
+		t.Errorf("trace clients: %d vs %d", tr.NumClients(), res.Trace.NumClients())
+	}
+	if tr.TotalBytes() != res.Trace.TotalBytes() {
+		t.Errorf("bytes: %d vs %d", tr.TotalBytes(), res.Trace.TotalBytes())
+	}
+}
+
+func TestConcurrencyTracker(t *testing.T) {
+	c := newConcurrencyTracker(8)
+	if got := c.admit(0, 10); got != 1 {
+		t.Errorf("admit 1: %d", got)
+	}
+	if got := c.admit(5, 15); got != 2 {
+		t.Errorf("admit 2: %d", got)
+	}
+	if got := c.admit(10, 20); got != 2 { // first ended at 10
+		t.Errorf("admit 3: %d", got)
+	}
+	if got := c.admit(100, 110); got != 1 {
+		t.Errorf("admit 4: %d", got)
+	}
+	if c.peak != 2 {
+		t.Errorf("peak = %d", c.peak)
+	}
+}
+
+func TestEndHeapOrdering(t *testing.T) {
+	var h endHeap
+	for _, v := range []int64{5, 3, 8, 1, 9, 2} {
+		h.push(v)
+	}
+	prev := int64(-1)
+	for len(h) > 0 {
+		v := h.pop()
+		if v < prev {
+			t.Fatalf("heap pop out of order: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestObjectURI(t *testing.T) {
+	if ObjectURI(0) != "/live/feed1" || ObjectURI(1) != "/live/feed2" {
+		t.Error("URI naming changed")
+	}
+}
+
+func TestFeedSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fs, err := NewFeedSchedule(0, 86400, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Switches) < 100 {
+		t.Errorf("switches = %d, want ~288 for 300 s dwell over a day", len(fs.Switches))
+	}
+	if fs.Switches[0].At != 0 {
+		t.Error("schedule must start at 0")
+	}
+	for i := 1; i < len(fs.Switches); i++ {
+		if fs.Switches[i].At <= fs.Switches[i-1].At {
+			t.Fatal("switch times not increasing")
+		}
+		if fs.Switches[i].Camera == fs.Switches[i-1].Camera {
+			t.Fatal("consecutive switches to the same camera")
+		}
+		if fs.Switches[i].Camera < 0 || fs.Switches[i].Camera >= NumCameras {
+			t.Fatal("camera out of range")
+		}
+	}
+	// CameraAt agrees with the schedule.
+	for _, probe := range []int64{0, 1000, 40000, 86399} {
+		cam := fs.CameraAt(probe)
+		if cam < 0 || cam >= NumCameras {
+			t.Fatalf("CameraAt(%d) = %d", probe, cam)
+		}
+	}
+	dwells := fs.DwellTimes(86400)
+	if len(dwells) != len(fs.Switches) {
+		t.Fatal("dwell count mismatch")
+	}
+	var total float64
+	for _, d := range dwells {
+		if d <= 0 {
+			t.Fatal("non-positive dwell")
+		}
+		total += d
+	}
+	if total != 86400 {
+		t.Errorf("dwells sum to %v, want 86400", total)
+	}
+}
+
+func TestNewFeedScheduleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := NewFeedSchedule(0, 0, 300, rng); err == nil {
+		t.Error("zero horizon: want error")
+	}
+	if _, err := NewFeedSchedule(0, 1000, 0, rng); err == nil {
+		t.Error("zero dwell: want error")
+	}
+}

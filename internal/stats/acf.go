@@ -1,0 +1,69 @@
+package stats
+
+import "fmt"
+
+// Autocorrelation returns the sample autocorrelation of the series at the
+// given lag (in series steps):
+//
+//	r(l) = Σ (x_t - m)(x_{t+l} - m) / Σ (x_t - m)²
+//
+// This is the estimator behind Figure 8 (autocorrelation of the number of
+// active clients, showing daily peaks at lags that are multiples of 1,440
+// minutes).
+func Autocorrelation(series []float64, lag int) (float64, error) {
+	if lag < 0 {
+		return 0, fmt.Errorf("%w: negative lag %d", ErrBadArgument, lag)
+	}
+	if len(series) == 0 {
+		return 0, ErrEmpty
+	}
+	if lag >= len(series) {
+		return 0, fmt.Errorf("%w: lag %d >= series length %d", ErrBadArgument, lag, len(series))
+	}
+	m := Mean(series)
+	var num, den float64
+	for t := 0; t < len(series); t++ {
+		d := series[t] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("%w: constant series has undefined autocorrelation", ErrBadArgument)
+	}
+	for t := 0; t+lag < len(series); t++ {
+		num += (series[t] - m) * (series[t+lag] - m)
+	}
+	return num / den, nil
+}
+
+// AutocorrelationFunction evaluates Autocorrelation at every lag in
+// 0..maxLag inclusive, returning a slice indexed by lag.
+func AutocorrelationFunction(series []float64, maxLag int) ([]float64, error) {
+	if maxLag < 0 {
+		return nil, fmt.Errorf("%w: negative maxLag %d", ErrBadArgument, maxLag)
+	}
+	if maxLag >= len(series) {
+		return nil, fmt.Errorf("%w: maxLag %d >= series length %d", ErrBadArgument, maxLag, len(series))
+	}
+	out := make([]float64, maxLag+1)
+	for l := 0; l <= maxLag; l++ {
+		r, err := Autocorrelation(series, l)
+		if err != nil {
+			return nil, err
+		}
+		out[l] = r
+	}
+	return out, nil
+}
+
+// LocalMaxima returns the indices of strict local maxima of the series that
+// exceed the threshold, skipping index 0. It is used to verify the ACF's
+// daily periodicity (peaks near multiples of 1,440 minutes).
+func LocalMaxima(series []float64, threshold float64) []int {
+	var out []int
+	for i := 1; i+1 < len(series); i++ {
+		if series[i] > threshold && series[i] > series[i-1] && series[i] >= series[i+1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PearsonCorrelation returns the sample Pearson correlation coefficient
+// of the paired observations. It backs the live-versus-stored duality
+// analyses: the paper argues transfer length correlates with object size
+// for stored media but with client stickiness for live media, and that
+// the QoS/viewing-time correlation differs between the two (Section 1).
+func PearsonCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d xs vs %d ys", ErrBadArgument, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 pairs", ErrBadArgument)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("%w: constant series has undefined correlation", ErrBadArgument)
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanCorrelation returns the Spearman rank correlation: Pearson on
+// the rank-transformed data, robust to the heavy tails these workloads
+// are full of. Ties receive their average rank.
+func SpearmanCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d xs vs %d ys", ErrBadArgument, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 pairs", ErrBadArgument)
+	}
+	return PearsonCorrelation(ranks(xs), ranks(ys))
+}
+
+// ranks returns average ranks (1-based) of the values.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avg := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}

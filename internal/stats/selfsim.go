@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Self-similarity estimators.
+//
+// Section 5.3 of the paper connects its transfer-length analysis to the
+// self-similarity literature: "In [14], Crovella and Bestavros argued
+// that the origins of traffic self-similarity can be attributed to the
+// heavy-tailed nature of individual file transfers". For live media the
+// heavy tail comes from client stickiness instead of file sizes, but the
+// mechanism — heavy-tailed ON periods aggregating into long-range-
+// dependent traffic — is the same. These estimators let the benchmarks
+// verify that the synthetic byte-arrival process inherits that structure.
+
+// AggregateSeries averages the series over non-overlapping blocks of m
+// samples, dropping any partial tail block. It is the X^(m) operator of
+// the variance-time method.
+func AggregateSeries(series []float64, m int) ([]float64, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: aggregation level %d", ErrBadArgument, m)
+	}
+	n := len(series) / m
+	if n == 0 {
+		return nil, fmt.Errorf("%w: series of %d too short for level %d", ErrBadArgument, len(series), m)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < m; j++ {
+			sum += series[i*m+j]
+		}
+		out[i] = sum / float64(m)
+	}
+	return out, nil
+}
+
+// VarianceTimeHurst estimates the Hurst parameter by the variance-time
+// method: for a self-similar process, Var[X^(m)] ~ m^(2H-2), so the
+// log-log regression of aggregated variance on m has slope 2H-2.
+// Levels are the aggregation levels to use (e.g. 1, 2, 4, ..., 1024).
+func VarianceTimeHurst(series []float64, levels []int) (float64, error) {
+	if len(levels) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 aggregation levels", ErrBadArgument)
+	}
+	var lx, ly []float64
+	for _, m := range levels {
+		agg, err := AggregateSeries(series, m)
+		if err != nil {
+			return 0, err
+		}
+		if len(agg) < 2 {
+			continue
+		}
+		s, err := Summarize(agg)
+		if err != nil {
+			return 0, err
+		}
+		if s.Variance <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(m)))
+		ly = append(ly, math.Log(s.Variance))
+	}
+	if len(lx) < 2 {
+		return 0, fmt.Errorf("%w: too few usable aggregation levels", ErrBadArgument)
+	}
+	slope, _ := slopeOf(lx, ly)
+	h := 1 + slope/2
+	return clampHurst(h), nil
+}
+
+// RSHurst estimates the Hurst parameter by rescaled-range (R/S) analysis:
+// E[R/S](n) ~ n^H. The series is cut into blocks at several sizes; for
+// each block the range of the mean-adjusted cumulative sum is divided by
+// the block standard deviation, and the log-log regression of the mean
+// R/S statistic on block size gives H.
+func RSHurst(series []float64, blockSizes []int) (float64, error) {
+	if len(blockSizes) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 block sizes", ErrBadArgument)
+	}
+	var lx, ly []float64
+	for _, n := range blockSizes {
+		if n < 8 || n > len(series) {
+			continue
+		}
+		var rsSum float64
+		var blocks int
+		for start := 0; start+n <= len(series); start += n {
+			rs, ok := rescaledRange(series[start : start+n])
+			if ok {
+				rsSum += rs
+				blocks++
+			}
+		}
+		if blocks == 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(n)))
+		ly = append(ly, math.Log(rsSum/float64(blocks)))
+	}
+	if len(lx) < 2 {
+		return 0, fmt.Errorf("%w: too few usable block sizes", ErrBadArgument)
+	}
+	slope, _ := slopeOf(lx, ly)
+	return clampHurst(slope), nil
+}
+
+// rescaledRange computes R/S for one block.
+func rescaledRange(block []float64) (float64, bool) {
+	m := Mean(block)
+	var cum, minC, maxC, sumSq float64
+	for _, x := range block {
+		d := x - m
+		cum += d
+		if cum < minC {
+			minC = cum
+		}
+		if cum > maxC {
+			maxC = cum
+		}
+		sumSq += d * d
+	}
+	sd := math.Sqrt(sumSq / float64(len(block)))
+	if sd == 0 {
+		return 0, false
+	}
+	return (maxC - minC) / sd, true
+}
+
+// slopeOf is a minimal least-squares slope/intercept.
+func slopeOf(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sumX, sumY, sumXY, sumXX float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXY += xs[i] * ys[i]
+		sumXX += xs[i] * xs[i]
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0, sumY / n
+	}
+	slope = (n*sumXY - sumX*sumY) / den
+	intercept = (sumY - slope*sumX) / n
+	return slope, intercept
+}
+
+func clampHurst(h float64) float64 {
+	if h < 0 {
+		return 0
+	}
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// PowersOfTwo returns 1, 2, 4, ..., up to the largest power <= max: the
+// conventional aggregation-level schedule for both estimators.
+func PowersOfTwo(max int) []int {
+	var out []int
+	for m := 1; m <= max; m *= 2 {
+		out = append(out, m)
+	}
+	return out
+}

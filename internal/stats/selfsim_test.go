@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAggregateSeries(t *testing.T) {
+	agg, err := AggregateSeries([]float64{1, 3, 5, 7, 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != 2 || agg[0] != 2 || agg[1] != 6 {
+		t.Errorf("agg = %v", agg)
+	}
+	if _, err := AggregateSeries([]float64{1}, 0); err == nil {
+		t.Error("level 0: want error")
+	}
+	if _, err := AggregateSeries([]float64{1}, 5); err == nil {
+		t.Error("level > len: want error")
+	}
+}
+
+func TestVarianceTimeHurstWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 1<<16)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	h, err := VarianceTimeHurst(series, PowersOfTwo(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 0.06 {
+		t.Errorf("white-noise H = %v, want ~0.5", h)
+	}
+}
+
+func TestRSHurstWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	series := make([]float64, 1<<15)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	h, err := RSHurst(series, []int{16, 32, 64, 128, 256, 512, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R/S on short blocks biases slightly above 0.5 (Hurst's own
+	// observation); accept [0.45, 0.65].
+	if h < 0.45 || h > 0.65 {
+		t.Errorf("white-noise R/S H = %v, want ~0.5-0.6", h)
+	}
+}
+
+func TestHurstRandomWalkIsPersistent(t *testing.T) {
+	// A random walk's increments are white noise (H=0.5), but the walk
+	// itself is maximally persistent: variance-time on the *levels*
+	// should give H near 1.
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, 1<<15)
+	cum := 0.0
+	for i := range series {
+		cum += rng.NormFloat64()
+		series[i] = cum
+	}
+	h, err := VarianceTimeHurst(series, PowersOfTwo(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.85 {
+		t.Errorf("random-walk H = %v, want near 1", h)
+	}
+}
+
+func TestHurstErrors(t *testing.T) {
+	if _, err := VarianceTimeHurst([]float64{1, 2, 3}, []int{1}); err == nil {
+		t.Error("one level: want error")
+	}
+	if _, err := RSHurst([]float64{1, 2, 3}, []int{4}); err == nil {
+		t.Error("one block size: want error")
+	}
+	constant := make([]float64, 1000)
+	if _, err := VarianceTimeHurst(constant, PowersOfTwo(64)); err == nil {
+		t.Error("constant series: want error (zero variance)")
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(10)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}

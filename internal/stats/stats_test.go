@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Variance-2) > 1e-12 {
+		t.Errorf("Variance = %v, want 2", s.Variance)
+	}
+	if math.Abs(s.Stddev-math.Sqrt2) > 1e-12 {
+		t.Errorf("Stddev = %v, want sqrt(2)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 7 || s.Median != 7 || s.Min != 7 || s.Max != 7 || s.Variance != 0 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25}, {0.9, 9.1},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("empty quantile: want ErrEmpty")
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("p<0: want error")
+	}
+	if _, err := Quantile(xs, 1.1); err == nil {
+		t.Error("p>1: want error")
+	}
+}
+
+func TestLogDisplayValue(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.4, 1}, {1, 2}, {2.9, 3}, {-5, 1},
+	}
+	for _, c := range cases {
+		if got := LogDisplayValue(c.in); got != c.want {
+			t.Errorf("LogDisplayValue(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: quantile is monotone in p and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(pRaw, qRaw float64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		p := math.Abs(math.Mod(pRaw, 1))
+		q := math.Abs(math.Mod(qRaw, 1))
+		if p > q {
+			p, q = q, p
+		}
+		qp, err1 := Quantile(xs, p)
+		qq, err2 := Quantile(xs, q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		s, _ := Summarize(xs)
+		return qp <= qq && qp >= s.Min && qq <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}

@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Config{
+		{NumAS: 0, Alpha: 1, Countries: []string{"BR"}, Weights: []float64{1}},
+		{NumAS: 10, Alpha: 0, Countries: []string{"BR"}, Weights: []float64{1}},
+		{NumAS: 10, Alpha: 1, Countries: nil, Weights: nil},
+		{NumAS: 10, Alpha: 1, Countries: []string{"BR", "US"}, Weights: []float64{1}},
+		{NumAS: 10, Alpha: 1, Countries: []string{"BR"}, Weights: []float64{-1}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, rng); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaperScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumAS != 1010 {
+		t.Errorf("NumAS = %d, want 1010 (Table 1)", cfg.NumAS)
+	}
+	if len(cfg.Countries) != 11 {
+		t.Errorf("countries = %d, want 11 (Figure 2)", len(cfg.Countries))
+	}
+	if cfg.Countries[0] != "BR" {
+		t.Error("BR must dominate")
+	}
+}
+
+func TestPlaceProducesValidIPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := New(DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenCountry := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		p := m.Place(rng)
+		if p.ASIndex < 0 || p.ASIndex >= m.NumAS() {
+			t.Fatalf("AS index %d out of range", p.ASIndex)
+		}
+		if net.ParseIP(p.IP) == nil {
+			t.Fatalf("invalid IP %q", p.IP)
+		}
+		if p.Country != m.ASes[p.ASIndex].Country {
+			t.Fatal("placement country does not match AS country")
+		}
+		seenCountry[p.Country] = true
+	}
+	if !seenCountry["BR"] {
+		t.Error("no Brazilian placements in 5000 draws")
+	}
+}
+
+func TestASPopularityIsZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig()
+	m, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, m.NumAS())
+	const draws = 500000
+	for i := 0; i < draws; i++ {
+		counts[m.Place(rng).ASIndex]++
+	}
+	fit, err := dist.FitZipfCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-cfg.Alpha) > 0.35 {
+		t.Errorf("AS popularity alpha = %v, want ~%v", fit.Alpha, cfg.Alpha)
+	}
+	// Rank-1 AS should dominate: it must hold well over 10% of placements.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/draws < 0.1 {
+		t.Errorf("top AS share = %v, want skewed dominance", float64(max)/draws)
+	}
+}
+
+func TestBrazilDominatesTransfers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := New(DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br, total int
+	for i := 0; i < 100000; i++ {
+		if m.Place(rng).Country == "BR" {
+			br++
+		}
+		total++
+	}
+	share := float64(br) / float64(total)
+	if share < 0.9 {
+		t.Errorf("BR share = %v, want >= 0.9 (Figure 2 right)", share)
+	}
+}
+
+func TestSmallTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	cfg.NumAS = 1
+	m, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Place(rng)
+	if p.ASIndex != 0 {
+		t.Error("single-AS model must place into AS 0")
+	}
+	if p.Country != "BR" {
+		t.Error("top-ranked AS must be BR")
+	}
+}
+
+func TestPlacementsDeterministicUnderSeed(t *testing.T) {
+	build := func() []Placement {
+		rng := rand.New(rand.NewSource(77))
+		m, err := New(DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Placement, 100)
+		for i := range out {
+			out[i] = m.Place(rng)
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

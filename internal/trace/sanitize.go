@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// SanitizeReport records what sanitization removed and why, echoing
+// Section 2.4 of the paper.
+type SanitizeReport struct {
+	Input           int // transfers before sanitization
+	Kept            int
+	DroppedSpanning int // duration exceeds the trace period (multi-harvest artifacts)
+	DroppedOutside  int // interval escapes [0, horizon]
+	DroppedNegative int // negative start or duration (corrupt arithmetic)
+}
+
+// String implements fmt.Stringer.
+func (r SanitizeReport) String() string {
+	return fmt.Sprintf("sanitize: kept %d/%d (dropped %d spanning, %d outside, %d negative)",
+		r.Kept, r.Input, r.DroppedSpanning, r.DroppedOutside, r.DroppedNegative)
+}
+
+// Sanitize returns a new trace with problem entries removed:
+//
+//   - transfers whose duration exceeds the trace period — the paper found
+//     "entries identified request/response activities that span durations
+//     longer than the 28-day period of the trace", attributed them to
+//     accesses spanning multiple log harvests, and excluded them;
+//   - transfers whose [start, end] interval escapes [0, horizon];
+//   - transfers with negative start or duration.
+func (tr *Trace) Sanitize() (*Trace, SanitizeReport) {
+	report := SanitizeReport{Input: len(tr.Transfers)}
+	kept := make([]Transfer, 0, len(tr.Transfers))
+	for _, t := range tr.Transfers {
+		switch {
+		case t.Duration < 0:
+			report.DroppedNegative++
+		case t.Duration > tr.Horizon:
+			report.DroppedSpanning++
+		case t.Start < 0 || t.End() > tr.Horizon:
+			report.DroppedOutside++
+		default:
+			kept = append(kept, t)
+		}
+	}
+	report.Kept = len(kept)
+	out := &Trace{Horizon: tr.Horizon, Transfers: kept}
+	return out, report
+}
+
+// OverloadAudit is the server-load check of Section 2.4: the fraction of
+// time (in 1-second bins spanned by at least one transfer) and the
+// fraction of transfers for which server CPU utilization stayed below the
+// threshold. The paper reports both above 99% at a 10% threshold, which
+// justifies treating the characterization as load-unbiased.
+type OverloadAudit struct {
+	Threshold         float64
+	TimeBelowFrac     float64 // fraction of active seconds below threshold
+	TransferBelowFrac float64 // fraction of transfers below threshold
+}
+
+// AuditServerLoad computes the overload audit at the given CPU threshold
+// (percent). Each transfer contributes its logged CPU reading to every
+// second it spans (a faithful stand-in for the paper's per-second
+// averaging of CPU samples).
+func (tr *Trace) AuditServerLoad(threshold float64) OverloadAudit {
+	audit := OverloadAudit{Threshold: threshold}
+	if len(tr.Transfers) == 0 {
+		audit.TimeBelowFrac = 1
+		audit.TransferBelowFrac = 1
+		return audit
+	}
+	var below int
+	for _, t := range tr.Transfers {
+		if t.ServerCPU < threshold {
+			below++
+		}
+	}
+	audit.TransferBelowFrac = float64(below) / float64(len(tr.Transfers))
+
+	// Per-second audit via a sweep over transfer intervals: accumulate
+	// (sum, count) per second only for seconds with activity. To bound
+	// memory for month-long traces we bin at 1-second resolution using a
+	// difference-array over the horizon.
+	if tr.Horizon <= 0 {
+		audit.TimeBelowFrac = 1
+		return audit
+	}
+	sum := make([]float64, tr.Horizon+1)
+	cnt := make([]int32, tr.Horizon+1)
+	for _, t := range tr.Transfers {
+		lo, hi := t.Start, t.End()
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > tr.Horizon {
+			hi = tr.Horizon
+		}
+		if hi <= lo {
+			hi = lo + 1 // zero-length transfers still occupy their second
+			if hi > tr.Horizon {
+				continue
+			}
+		}
+		sum[lo] += t.ServerCPU
+		sum[hi] -= t.ServerCPU
+		cnt[lo]++
+		cnt[hi]--
+	}
+	var active, belowTime int64
+	var runSum float64
+	var runCnt int32
+	for s := int64(0); s < tr.Horizon; s++ {
+		runSum += sum[s]
+		runCnt += cnt[s]
+		if runCnt > 0 {
+			active++
+			if runSum/float64(runCnt) < threshold {
+				belowTime++
+			}
+		}
+	}
+	if active == 0 {
+		audit.TimeBelowFrac = 1
+	} else {
+		audit.TimeBelowFrac = float64(belowTime) / float64(active)
+	}
+	return audit
+}

@@ -1,0 +1,166 @@
+// Package trace holds the in-memory form of the workload: one record per
+// unicast transfer, with times expressed in whole seconds since trace
+// start (the logs have 1-second resolution, Section 2.3 of the paper).
+//
+// A Trace is what the characterization pipeline consumes; it is built
+// either directly from the generator/simulator or by parsing Windows-
+// Media-Server-style log files (package wmslog).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/wmslog"
+)
+
+// ErrBadTrace reports structural problems with trace construction.
+var ErrBadTrace = errors.New("trace: bad trace")
+
+// Transfer is one unicast live-object transfer: the result of a start/stop
+// request pair by a client (Section 2.2, Transfer Layer).
+type Transfer struct {
+	Client    int    // dense client index (player ID)
+	IP        string // client IP for this session
+	AS        int    // origin autonomous system (1-based)
+	Country   string
+	Object    int   // live object index (0-based; the paper has 2)
+	Start     int64 // seconds since trace start
+	Duration  int64 // transfer length in seconds
+	Bytes     int64
+	Bandwidth int64 // average bits/second
+	ServerCPU float64
+}
+
+// End returns Start + Duration.
+func (t Transfer) End() int64 { return t.Start + t.Duration }
+
+// Trace is a complete workload: transfers sorted by start time over a
+// fixed horizon.
+type Trace struct {
+	Horizon   int64 // trace length in seconds (paper: 28 days)
+	Transfers []Transfer
+
+	byClient map[int][]int // client -> indices into Transfers, start-sorted
+}
+
+// New builds a trace from transfers, sorting them by start time (ties by
+// client then object, for determinism).
+func New(horizon int64, transfers []Transfer) (*Trace, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadTrace, horizon)
+	}
+	ts := make([]Transfer, len(transfers))
+	copy(ts, transfers)
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Start != ts[j].Start {
+			return ts[i].Start < ts[j].Start
+		}
+		if ts[i].Client != ts[j].Client {
+			return ts[i].Client < ts[j].Client
+		}
+		return ts[i].Object < ts[j].Object
+	})
+	return &Trace{Horizon: horizon, Transfers: ts}, nil
+}
+
+// NumTransfers returns the number of transfers.
+func (tr *Trace) NumTransfers() int { return len(tr.Transfers) }
+
+// NumClients returns the number of distinct clients.
+func (tr *Trace) NumClients() int { return len(tr.ByClient()) }
+
+// ByClient returns, for each client, the indices of its transfers in
+// start order. The map is computed once and cached.
+func (tr *Trace) ByClient() map[int][]int {
+	if tr.byClient == nil {
+		m := make(map[int][]int)
+		for i, t := range tr.Transfers {
+			m[t.Client] = append(m[t.Client], i)
+		}
+		tr.byClient = m
+	}
+	return tr.byClient
+}
+
+// TotalBytes sums bytes served across all transfers.
+func (tr *Trace) TotalBytes() int64 {
+	var sum int64
+	for _, t := range tr.Transfers {
+		sum += t.Bytes
+	}
+	return sum
+}
+
+// DistinctIPs counts distinct client IPs in the trace.
+func (tr *Trace) DistinctIPs() int {
+	set := make(map[string]struct{})
+	for _, t := range tr.Transfers {
+		set[t.IP] = struct{}{}
+	}
+	return len(set)
+}
+
+// DistinctAS counts distinct origin ASes.
+func (tr *Trace) DistinctAS() int {
+	set := make(map[int]struct{})
+	for _, t := range tr.Transfers {
+		set[t.AS] = struct{}{}
+	}
+	return len(set)
+}
+
+// DistinctObjects counts distinct live objects.
+func (tr *Trace) DistinctObjects() int {
+	set := make(map[int]struct{})
+	for _, t := range tr.Transfers {
+		set[t.Object] = struct{}{}
+	}
+	return len(set)
+}
+
+// FromEntries converts parsed log entries into a Trace. epoch is the
+// wall-clock instant of trace second 0; horizon is the trace length in
+// seconds. Client and object identities are densified: player IDs and URI
+// stems are mapped to consecutive integers in first-seen order.
+//
+// Entries are timestamped at transfer end (that is when the server logs
+// them), so Start = timestamp - duration; entries whose computed interval
+// escapes [0, horizon] are kept here and removed by Sanitize, mirroring
+// the paper's two-step handling.
+func FromEntries(entries []*wmslog.Entry, epoch time.Time, horizon int64) (*Trace, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadTrace, horizon)
+	}
+	clients := make(map[string]int)
+	objects := make(map[string]int)
+	transfers := make([]Transfer, 0, len(entries))
+	for _, e := range entries {
+		cid, ok := clients[e.PlayerID]
+		if !ok {
+			cid = len(clients)
+			clients[e.PlayerID] = cid
+		}
+		oid, ok := objects[e.URIStem]
+		if !ok {
+			oid = len(objects)
+			objects[e.URIStem] = oid
+		}
+		end := int64(e.Timestamp.Sub(epoch) / time.Second)
+		transfers = append(transfers, Transfer{
+			Client:    cid,
+			IP:        e.ClientIP,
+			AS:        e.ASNumber,
+			Country:   e.Country,
+			Object:    oid,
+			Start:     end - e.Duration,
+			Duration:  e.Duration,
+			Bytes:     e.Bytes,
+			Bandwidth: e.AvgBandwidth,
+			ServerCPU: e.ServerCPU,
+		})
+	}
+	return New(horizon, transfers)
+}

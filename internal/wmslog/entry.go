@@ -1,0 +1,136 @@
+// Package wmslog implements a Windows-Media-Server-style access log: the
+// on-disk substrate the paper's trace arrived in (Section 2.3).
+//
+// Each log entry records one client/server request/response pair, written
+// when the transfer completes, and carries the seven field groups the
+// paper enumerates: client identification (IP, player ID), client
+// environment (OS, CPU), requested object (URI), transfer statistics
+// (duration, bytes, average bandwidth, packet loss), server load (CPU
+// utilization), other metadata (referer, protocol status), and a
+// 1-second-resolution timestamp.
+//
+// The format is a W3C-extended-style space-separated text file with a
+// "#Fields:" header, one entry per line, harvested into one file per day
+// at midnight — matching the paper's daily log harvests.
+package wmslog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrFormat reports a malformed log line or header.
+var ErrFormat = errors.New("wmslog: malformed log data")
+
+// Fields is the canonical column list written in the "#Fields:" header.
+// Order matters: Entry encoding and decoding follow it.
+var Fields = []string{
+	"date",         // YYYY-MM-DD of entry generation
+	"time",         // HH:MM:SS of entry generation (1-second resolution)
+	"c-ip",         // client IP address
+	"c-playerid",   // unique player (client software) ID
+	"c-os",         // client operating system
+	"c-cpu",        // client CPU class
+	"cs-uri-stem",  // requested live object URI
+	"x-duration",   // transfer length in seconds
+	"sc-bytes",     // bytes served for the transfer
+	"avgbandwidth", // average transfer bandwidth in bits/second
+	"c-pkts-lost",  // packets lost client-side
+	"s-cpu-util",   // server CPU utilization percentage at log time
+	"cs(Referer)",  // referer URI
+	"sc-status",    // protocol status code
+	"s-as",         // origin AS number of the client (resolved offline)
+	"s-country",    // origin country of the client (resolved offline)
+}
+
+// Entry is one access-log record. Timestamps are wall-clock; the trace
+// layer converts them to seconds since trace start.
+type Entry struct {
+	Timestamp    time.Time // when the entry was generated (transfer end)
+	ClientIP     string
+	PlayerID     string // unique client software identifier
+	ClientOS     string
+	ClientCPU    string
+	URIStem      string // requested live object, e.g. "/live/feed1"
+	Duration     int64  // transfer length in whole seconds
+	Bytes        int64  // bytes served
+	AvgBandwidth int64  // bits per second
+	PacketsLost  int64
+	ServerCPU    float64 // server CPU utilization percent
+	Referer      string
+	Status       int
+	ASNumber     int
+	Country      string
+}
+
+// Validate performs structural sanity checks on an entry before writing.
+func (e *Entry) Validate() error {
+	if e.Timestamp.IsZero() {
+		return fmt.Errorf("%w: zero timestamp", ErrFormat)
+	}
+	if e.ClientIP == "" || strings.ContainsAny(e.ClientIP, " \t\n") {
+		return fmt.Errorf("%w: bad client IP %q", ErrFormat, e.ClientIP)
+	}
+	if e.PlayerID == "" || strings.ContainsAny(e.PlayerID, " \t\n") {
+		return fmt.Errorf("%w: bad player ID %q", ErrFormat, e.PlayerID)
+	}
+	if e.URIStem == "" || strings.ContainsAny(e.URIStem, " \t\n") {
+		return fmt.Errorf("%w: bad URI %q", ErrFormat, e.URIStem)
+	}
+	if e.Duration < 0 {
+		return fmt.Errorf("%w: negative duration %d", ErrFormat, e.Duration)
+	}
+	if e.Bytes < 0 || e.AvgBandwidth < 0 || e.PacketsLost < 0 {
+		return fmt.Errorf("%w: negative transfer statistics", ErrFormat)
+	}
+	if e.ServerCPU < 0 || e.ServerCPU > 100 {
+		return fmt.Errorf("%w: server CPU %v out of [0,100]", ErrFormat, e.ServerCPU)
+	}
+	return nil
+}
+
+// Start returns the transfer start time (Timestamp minus Duration).
+func (e *Entry) Start() time.Time {
+	return e.Timestamp.Add(-time.Duration(e.Duration) * time.Second)
+}
+
+// marshalLine renders the entry as one log line in Fields order.
+func (e *Entry) marshalLine(b *strings.Builder) {
+	b.WriteString(e.Timestamp.Format("2006-01-02"))
+	b.WriteByte(' ')
+	b.WriteString(e.Timestamp.Format("15:04:05"))
+	fmt.Fprintf(b, " %s %s %s %s %s %d %d %d %d %.2f %s %d %d %s",
+		e.ClientIP,
+		e.PlayerID,
+		dashIfEmpty(e.ClientOS),
+		dashIfEmpty(e.ClientCPU),
+		e.URIStem,
+		e.Duration,
+		e.Bytes,
+		e.AvgBandwidth,
+		e.PacketsLost,
+		e.ServerCPU,
+		dashIfEmpty(e.Referer),
+		e.Status,
+		e.ASNumber,
+		dashIfEmpty(e.Country),
+	)
+}
+
+func dashIfEmpty(s string) string {
+	if s == "" {
+		return "-"
+	}
+	// Field values are space-separated; spaces inside values would break
+	// the line format, so encode them.
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+func undash(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return strings.ReplaceAll(s, "_", " ")
+}

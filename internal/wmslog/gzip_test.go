@@ -1,0 +1,103 @@
+package wmslog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCompressAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	dw, err := NewDailyWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e := sampleEntry(TraceEpoch.Add(time.Duration(i) * time.Minute))
+		if err := dw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := dw.Files()
+	if len(files) != 1 {
+		t.Fatalf("files = %v", files)
+	}
+
+	gzPath, err := CompressFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(gzPath, ".log.gz") {
+		t.Errorf("gz path = %s", gzPath)
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Error("original should be removed after compression")
+	}
+
+	entries, st, err := ReadFiles([]string{gzPath}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 || st.Entries != 10 || st.Malformed != 0 {
+		t.Errorf("read %d entries (stats %+v)", len(entries), st)
+	}
+}
+
+func TestFindLogsMixed(t *testing.T) {
+	dir := t.TempDir()
+	dw, err := NewDailyWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two days of entries.
+	for _, ts := range []time.Time{TraceEpoch.Add(time.Hour), TraceEpoch.Add(25 * time.Hour)} {
+		if err := dw.Write(sampleEntry(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := dw.Files()
+	// Compress only the first day.
+	if _, err := CompressFile(files[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	found, err := FindLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("found %v", found)
+	}
+	entries, _, err := ReadFiles(found, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("entries = %d", len(entries))
+	}
+}
+
+func TestCompressFileErrors(t *testing.T) {
+	if _, err := CompressFile(filepath.Join(t.TempDir(), "missing.log")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestOpenLogRejectsCorruptGzip(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "wms-x.log.gz")
+	if err := os.WriteFile(bad, []byte("this is not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFiles([]string{bad}, true); err == nil {
+		t.Error("corrupt gzip: want error")
+	}
+}

@@ -1,0 +1,198 @@
+package wmslog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseStats accumulates per-parse bookkeeping: how many lines were
+// consumed, how many were comments/headers, and how many were malformed
+// (and skipped, in tolerant mode).
+type ParseStats struct {
+	Lines     int
+	Comments  int
+	Entries   int
+	Malformed int
+}
+
+// Parser reads entries from a single log stream.
+//
+// In strict mode (default) any malformed line aborts with an error
+// identifying the line number. In tolerant mode malformed lines are
+// counted and skipped — the disposition a measurement pipeline needs for
+// month-scale production logs.
+type Parser struct {
+	Tolerant bool
+
+	scanner *bufio.Scanner
+	stats   ParseStats
+	fields  []string // column order from the #Fields header, nil until seen
+}
+
+// NewParser wraps r.
+func NewParser(r io.Reader) *Parser {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Parser{scanner: sc}
+}
+
+// Stats returns the bookkeeping so far.
+func (p *Parser) Stats() ParseStats { return p.stats }
+
+// Next returns the next entry, or io.EOF when the stream is exhausted.
+func (p *Parser) Next() (*Entry, error) {
+	for p.scanner.Scan() {
+		p.stats.Lines++
+		line := strings.TrimSpace(p.scanner.Text())
+		if line == "" {
+			p.stats.Comments++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			p.stats.Comments++
+			if strings.HasPrefix(line, "#Fields:") {
+				p.fields = strings.Fields(strings.TrimPrefix(line, "#Fields:"))
+			}
+			continue
+		}
+		e, err := p.parseLine(line)
+		if err != nil {
+			p.stats.Malformed++
+			if p.Tolerant {
+				continue
+			}
+			return nil, fmt.Errorf("line %d: %w", p.stats.Lines, err)
+		}
+		p.stats.Entries++
+		return e, nil
+	}
+	if err := p.scanner.Err(); err != nil {
+		return nil, fmt.Errorf("wmslog: scan: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// parseLine decodes one data line according to the canonical Fields order.
+// A #Fields header with a different column set is rejected up front.
+func (p *Parser) parseLine(line string) (*Entry, error) {
+	if p.fields != nil && !sameFields(p.fields, Fields) {
+		return nil, fmt.Errorf("%w: unsupported field set %v", ErrFormat, p.fields)
+	}
+	cols := strings.Fields(line)
+	if len(cols) != len(Fields) {
+		return nil, fmt.Errorf("%w: %d columns, want %d", ErrFormat, len(cols), len(Fields))
+	}
+	ts, err := time.Parse("2006-01-02 15:04:05", cols[0]+" "+cols[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: timestamp %q %q: %v", ErrFormat, cols[0], cols[1], err)
+	}
+	e := &Entry{
+		Timestamp: ts,
+		ClientIP:  cols[2],
+		PlayerID:  cols[3],
+		ClientOS:  undash(cols[4]),
+		ClientCPU: undash(cols[5]),
+		URIStem:   cols[6],
+		Referer:   undash(cols[12]),
+		Country:   undash(cols[15]),
+	}
+	if e.Duration, err = parseInt(cols[7], "x-duration"); err != nil {
+		return nil, err
+	}
+	if e.Bytes, err = parseInt(cols[8], "sc-bytes"); err != nil {
+		return nil, err
+	}
+	if e.AvgBandwidth, err = parseInt(cols[9], "avgbandwidth"); err != nil {
+		return nil, err
+	}
+	if e.PacketsLost, err = parseInt(cols[10], "c-pkts-lost"); err != nil {
+		return nil, err
+	}
+	if e.ServerCPU, err = strconv.ParseFloat(cols[11], 64); err != nil {
+		return nil, fmt.Errorf("%w: s-cpu-util %q", ErrFormat, cols[11])
+	}
+	status, err := strconv.Atoi(cols[13])
+	if err != nil {
+		return nil, fmt.Errorf("%w: sc-status %q", ErrFormat, cols[13])
+	}
+	e.Status = status
+	asn, err := strconv.Atoi(cols[14])
+	if err != nil {
+		return nil, fmt.Errorf("%w: s-as %q", ErrFormat, cols[14])
+	}
+	e.ASNumber = asn
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func parseInt(s, field string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s %q", ErrFormat, field, s)
+	}
+	return v, nil
+}
+
+func sameFields(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadAll parses every entry from r, in tolerant or strict mode.
+func ReadAll(r io.Reader, tolerant bool) ([]*Entry, ParseStats, error) {
+	p := NewParser(r)
+	p.Tolerant = tolerant
+	var out []*Entry
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			return out, p.Stats(), nil
+		}
+		if err != nil {
+			return out, p.Stats(), err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadFiles parses a set of daily log files (in name order, which is date
+// order for DailyWriter output) and concatenates their entries.
+func ReadFiles(paths []string, tolerant bool) ([]*Entry, ParseStats, error) {
+	sorted := make([]string, len(paths))
+	copy(sorted, paths)
+	sort.Strings(sorted)
+
+	var all []*Entry
+	var total ParseStats
+	for _, path := range sorted {
+		r, closer, err := openLog(path)
+		if err != nil {
+			return all, total, err
+		}
+		entries, st, err := ReadAll(r, tolerant)
+		closer.Close()
+		total.Lines += st.Lines
+		total.Comments += st.Comments
+		total.Entries += st.Entries
+		total.Malformed += st.Malformed
+		all = append(all, entries...)
+		if err != nil {
+			return all, total, fmt.Errorf("wmslog: parse %s: %w", path, err)
+		}
+	}
+	return all, total, nil
+}
