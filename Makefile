@@ -1,0 +1,26 @@
+# Streaming-pipeline build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the streaming-pipeline benchmarks (sequential vs sharded
+# generation, streamed serving) and renders BENCH_streaming.json —
+# ns/op and bytes/op per benchmark — seeding the perf trajectory.
+# The bench output is written to a file first so a failing `go test`
+# fails the target instead of being masked by a pipe.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 1 . > bench_streaming.txt
+	cat bench_streaming.txt
+	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_streaming.json
+	@rm -f bench_streaming.txt
+	@echo "wrote BENCH_streaming.json"

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC
+BenchmarkStreamingGenerateSequential-8   	      12	  95104318 ns/op	 7340032 B/op	   12345 allocs/op
+BenchmarkStreamingGenerateShards8-8      	      33	  35104318 ns/op	 8340032 B/op	   22345 allocs/op	  19560 events
+PASS
+ok  	repro	4.189s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" || report.CPU != "AMD EPYC" {
+		t.Errorf("env fields: %+v", report)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	b0 := report.Benchmarks[0]
+	if b0.Name != "BenchmarkStreamingGenerateSequential" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b0.Name)
+	}
+	if b0.Runs != 12 || b0.NsPerOp != 95104318 || b0.BytesPerOp != 7340032 || b0.AllocsPerOp != 12345 {
+		t.Errorf("values: %+v", b0)
+	}
+	b1 := report.Benchmarks[1]
+	if b1.Metrics["events"] != 19560 {
+		t.Errorf("custom metric lost: %+v", b1)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader("hello\nBenchmarkBroken abc\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Errorf("garbage parsed as benchmarks: %+v", report.Benchmarks)
+	}
+}

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	lsmgen -out logs/ [-scale 150] [-days 7] [-seed 1] [-model model.json]
+//	       [-stream] [-shards N]
+//
+// With -stream the pipeline runs in streaming mode: the sharded
+// generator feeds the simulator event by event and log entries go
+// straight to the daily files, so memory stays O(active sessions)
+// instead of O(total requests) — the mode for paper-scale (-scale 1)
+// runs. -shards sets the generator shard count (0 = one per CPU). The
+// emitted logs are byte-identical between the streaming and the
+// materializing path for the same seed, at any shard count.
 //
 // The generated logs can then be characterized with lsmchar. With
 // -model the full model parameterization is also written as JSON so the
@@ -20,53 +29,95 @@ import (
 
 	"repro/internal/gismo"
 	"repro/internal/simulate"
+	"repro/internal/wmslog"
 )
 
+// options collects the CLI parameters.
+type options struct {
+	out       string
+	scale     float64
+	days      int
+	seed      int64
+	modelPath string
+	loadPath  string
+	stream    bool
+	shards    int
+}
+
 func main() {
-	var (
-		out       = flag.String("out", "", "directory for daily log files (required)")
-		scale     = flag.Float64("scale", 150, "population/rate scale-down factor (1 = paper scale)")
-		days      = flag.Int("days", 7, "trace length in days")
-		seed      = flag.Int64("seed", 1, "random seed")
-		modelPath = flag.String("model", "", "optional path to write the model JSON")
-		loadPath  = flag.String("load", "", "optional model JSON to load instead of -scale/-days")
-	)
+	var o options
+	flag.StringVar(&o.out, "out", "", "directory for daily log files (required)")
+	flag.Float64Var(&o.scale, "scale", 150, "population/rate scale-down factor (1 = paper scale)")
+	flag.IntVar(&o.days, "days", 7, "trace length in days")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.modelPath, "model", "", "optional path to write the model JSON")
+	flag.StringVar(&o.loadPath, "load", "", "optional model JSON to load instead of -scale/-days")
+	flag.BoolVar(&o.stream, "stream", false, "streaming mode: O(active sessions) memory, logs written as served")
+	flag.IntVar(&o.shards, "shards", 0, "generator shards in streaming mode (0 = one per CPU)")
 	flag.Parse()
-	if *out == "" {
+	if o.out == "" {
 		fmt.Fprintln(os.Stderr, "lsmgen: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *scale, *days, *seed, *modelPath, *loadPath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lsmgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale float64, days int, seed int64, modelPath, loadPath string) error {
-	var model gismo.Model
-	if loadPath != "" {
-		data, err := os.ReadFile(loadPath)
+func run(o options) error {
+	model, err := resolveModel(o)
+	if err != nil {
+		return err
+	}
+	if o.stream {
+		err = runStreaming(o, model)
+	} else {
+		err = runMaterialized(o, model)
+	}
+	if err != nil {
+		return err
+	}
+	if o.modelPath != "" {
+		data, err := json.MarshalIndent(model, "", "  ")
 		if err != nil {
 			return err
+		}
+		if err := os.WriteFile(o.modelPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", o.modelPath)
+	}
+	return nil
+}
+
+func resolveModel(o options) (gismo.Model, error) {
+	var model gismo.Model
+	if o.loadPath != "" {
+		data, err := os.ReadFile(o.loadPath)
+		if err != nil {
+			return model, err
 		}
 		if err := json.Unmarshal(data, &model); err != nil {
-			return fmt.Errorf("parse model: %w", err)
+			return model, fmt.Errorf("parse model: %w", err)
 		}
 	} else {
-		m, err := gismo.Scaled(scale, days)
+		m, err := gismo.Scaled(o.scale, o.days)
 		if err != nil {
-			return err
+			return model, err
 		}
 		model = m
 	}
-	if err := model.Validate(); err != nil {
-		return err
-	}
+	return model, model.Validate()
+}
 
-	rng := rand.New(rand.NewSource(seed))
+// runMaterialized is the classic path: generate everything, serve
+// everything, then write the logs.
+func runMaterialized(o options, model gismo.Model) error {
+	rng := rand.New(rand.NewSource(o.seed))
 	fmt.Printf("generating: %d clients, %d-day horizon, seed %d\n",
-		model.NumClients, model.Horizon/86400, seed)
+		model.NumClients, model.Horizon/86400, o.seed)
 	w, err := gismo.Generate(model, rng)
 	if err != nil {
 		return err
@@ -77,23 +128,49 @@ func run(out string, scale float64, days int, seed int64, modelPath, loadPath st
 	if err != nil {
 		return err
 	}
-	files, err := res.WriteLogs(out)
+	files, err := res.WriteLogs(o.out)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("served %d transfers (peak concurrency %d, %d corrupt entries injected)\n",
 		res.Trace.NumTransfers(), res.PeakConcurrency, res.Injected)
-	fmt.Printf("wrote %d daily log files under %s\n", len(files), out)
+	fmt.Printf("wrote %d daily log files under %s\n", len(files), o.out)
+	return nil
+}
 
-	if modelPath != "" {
-		data, err := json.MarshalIndent(model, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(modelPath, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("model written to %s\n", modelPath)
+// runStreaming pipes the sharded generator straight into the simulator
+// and the simulator straight into the daily log writer: no workload,
+// trace or entry slice is ever materialized.
+func runStreaming(o options, model gismo.Model) error {
+	shards := o.shards
+	if shards == 0 {
+		shards = gismo.DefaultShards()
 	}
+	rng := rand.New(rand.NewSource(o.seed))
+	ws, err := gismo.NewStream(model, rng.Int63(), shards)
+	if err != nil {
+		return err
+	}
+	defer ws.Close()
+	fmt.Printf("streaming: %d clients, %d-day horizon, seed %d, %d shards\n",
+		model.NumClients, model.Horizon/86400, o.seed, shards)
+
+	dw, err := wmslog.NewDailyWriter(o.out)
+	if err != nil {
+		return err
+	}
+	res, err := simulate.RunStream(ws, ws.Population(), model.Horizon, simulate.DefaultConfig(), rng, simulate.StreamSinks{
+		Entry: dw.Write,
+	})
+	if err != nil {
+		dw.Close()
+		return err
+	}
+	if err := dw.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("served %d transfers from %d sessions (peak concurrency %d, %d corrupt entries injected)\n",
+		res.Transfers, ws.Sessions(), res.PeakConcurrency, res.Injected)
+	fmt.Printf("wrote %d daily log files under %s\n", len(dw.Files()), o.out)
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -15,7 +16,8 @@ func TestRunGeneratesLogsAndModel(t *testing.T) {
 	logDir := filepath.Join(dir, "logs")
 	modelPath := filepath.Join(dir, "model.json")
 
-	if err := run(logDir, 500, 2, 7, modelPath, ""); err != nil {
+	o := options{out: logDir, scale: 500, days: 2, seed: 7, modelPath: modelPath}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	paths, err := filepath.Glob(filepath.Join(logDir, "wms-*.log"))
@@ -60,24 +62,81 @@ func TestRunLoadsModelJSON(t *testing.T) {
 	if err := os.WriteFile(modelPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(dir, "logs"), 0, 0, 1, "", modelPath); err != nil {
+	if err := run(options{out: filepath.Join(dir, "logs"), seed: 1, loadPath: modelPath}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 0.5, 2, 1, "", ""); err == nil {
+	if err := run(options{out: dir, scale: 0.5, days: 2, seed: 1}); err == nil {
 		t.Error("scale < 1: want error")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, 100, 2, 1, "", bad); err == nil {
+	if err := run(options{out: dir, scale: 100, days: 2, seed: 1, loadPath: bad}); err == nil {
 		t.Error("bad model JSON: want error")
 	}
-	if err := run(dir, 100, 2, 1, "", filepath.Join(dir, "missing.json")); err == nil {
+	if err := run(options{out: dir, scale: 100, days: 2, seed: 1, loadPath: filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("missing model file: want error")
+	}
+	if err := run(options{out: dir, scale: 100, days: 2, seed: 1, stream: true, shards: -1}); err == nil {
+		t.Error("negative shard count: want error")
+	}
+}
+
+// logBytes reads every daily file under dir, keyed by base name.
+func logBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wms-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = data
+	}
+	return out
+}
+
+// TestStreamingLogsByteIdentical is the CLI-level acceptance check:
+// the streaming path (-stream -shards N) must write byte-identical
+// daily logs to the materializing path for the same seed, for any
+// shard count.
+func TestStreamingLogsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	legacyDir := filepath.Join(dir, "legacy")
+	if err := run(options{out: legacyDir, scale: 500, days: 2, seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	legacy := logBytes(t, legacyDir)
+	if len(legacy) == 0 {
+		t.Fatal("no legacy logs")
+	}
+
+	for _, shards := range []int{1, 3} {
+		streamDir := filepath.Join(dir, "stream", string(rune('a'+shards)))
+		if err := run(options{out: streamDir, scale: 500, days: 2, seed: 11, stream: true, shards: shards}); err != nil {
+			t.Fatal(err)
+		}
+		streamed := logBytes(t, streamDir)
+		if len(streamed) != len(legacy) {
+			t.Fatalf("shards=%d: %d files vs %d", shards, len(streamed), len(legacy))
+		}
+		for name, want := range legacy {
+			got, ok := streamed[name]
+			if !ok {
+				t.Fatalf("shards=%d: missing file %s", shards, name)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("shards=%d: %s differs from the materializing path", shards, name)
+			}
+		}
 	}
 }

@@ -8,15 +8,19 @@
 //	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
 //
 // Connect with the liveserver client package or the livereplay example.
-// The server runs until interrupted.
+// The server runs until interrupted (SIGINT or SIGTERM); on shutdown
+// the transfer log is flushed and closed before the process exits, so
+// the last entries are never lost.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/liveserver"
@@ -31,13 +35,38 @@ func main() {
 		maxConn = flag.Int("maxconns", 256, "maximum concurrent connections")
 	)
 	flag.Parse()
-	if err := run(*addr, *logPath, *rate, *maxConn); err != nil {
+
+	app, err := newApp(*addr, *logPath, *rate, *maxConn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("live streaming server on %s (%d bit/s)\n", app.srv.Addr(), *rate)
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+	if err := app.loop(interrupt, 10*time.Second, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, logPath string, rateBps, maxConns int) error {
+// app bundles the server with its transfer log so the shutdown path —
+// stop serving, flush and close the log exactly once — is testable.
+type app struct {
+	srv *liveserver.Server
+
+	logMu     sync.Mutex
+	logWriter *wmslog.Writer
+	logFile   *os.File
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// newApp starts the server, wiring completed transfers into the log
+// sink when logPath is non-empty.
+func newApp(addr, logPath string, rateBps, maxConns int) (*app, error) {
 	cfg := liveserver.DefaultServerConfig()
 	cfg.MaxConns = maxConns
 	// Pick frame pacing for the requested rate at ~10 frames/second.
@@ -47,66 +76,92 @@ func run(addr, logPath string, rateBps, maxConns int) error {
 		cfg.FrameBytes = 64
 	}
 
-	var logMu sync.Mutex
-	var logWriter *wmslog.Writer
-	var logFile *os.File
+	a := &app{}
 	if logPath != "" {
 		f, err := os.Create(logPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		logFile = f
-		logWriter = wmslog.NewWriter(f)
-		cfg.Sink = func(r liveserver.TransferRecord) {
-			entry := &wmslog.Entry{
-				Timestamp:    r.End,
-				ClientIP:     r.RemoteIP,
-				PlayerID:     r.PlayerID,
-				URIStem:      r.URI,
-				Duration:     int64(r.End.Sub(r.Start).Seconds()),
-				Bytes:        r.Bytes,
-				AvgBandwidth: bandwidthOf(r),
-				Status:       200,
-				Country:      "BR",
-				ASNumber:     1,
-			}
-			logMu.Lock()
-			defer logMu.Unlock()
-			if err := logWriter.Write(entry); err != nil {
-				fmt.Fprintln(os.Stderr, "lsmserve: log:", err)
-			}
-			logWriter.Flush()
-		}
+		a.logFile = f
+		a.logWriter = wmslog.NewWriter(f)
+		cfg.Sink = a.logTransfer
 	}
 
 	srv, err := liveserver.Serve(addr, cfg)
 	if err != nil {
-		return err
+		if a.logFile != nil {
+			a.logFile.Close()
+		}
+		return nil, err
 	}
-	fmt.Printf("live streaming server on %s (%d bit/s, objects %v)\n",
-		srv.Addr(), rateBps, cfg.Objects)
+	a.srv = srv
+	return a, nil
+}
 
-	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
-	ticker := time.NewTicker(10 * time.Second)
+// logTransfer appends one completed transfer to the log.
+func (a *app) logTransfer(r liveserver.TransferRecord) {
+	entry := &wmslog.Entry{
+		Timestamp:    r.End,
+		ClientIP:     r.RemoteIP,
+		PlayerID:     r.PlayerID,
+		URIStem:      r.URI,
+		Duration:     int64(r.End.Sub(r.Start).Seconds()),
+		Bytes:        r.Bytes,
+		AvgBandwidth: bandwidthOf(r),
+		Status:       200,
+		Country:      "BR",
+		ASNumber:     1,
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	if a.logWriter == nil {
+		return // shut down; transfer raced the close
+	}
+	if err := a.logWriter.Write(entry); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserve: log:", err)
+	}
+	// Flush per entry: transfer completions are rare enough that
+	// durability (ungraceful kills, tail -f) beats write batching.
+	a.logWriter.Flush()
+}
+
+// loop prints periodic status until a signal arrives, then shuts down.
+func (a *app) loop(interrupt <-chan os.Signal, statusEvery time.Duration, w io.Writer) error {
+	ticker := time.NewTicker(statusEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-interrupt:
-			fmt.Println("\nshutting down")
-			err := srv.Close()
-			if logFile != nil {
-				logMu.Lock()
-				logWriter.Flush()
-				logMu.Unlock()
-				logFile.Close()
-			}
-			return err
+			fmt.Fprintln(w, "\nshutting down")
+			return a.shutdown()
 		case <-ticker.C:
-			fmt.Printf("active=%d served=%d refused=%d\n",
-				srv.ActiveTransfers(), srv.ServedTransfers(), srv.RefusedConns())
+			fmt.Fprintf(w, "active=%d served=%d refused=%d\n",
+				a.srv.ActiveTransfers(), a.srv.ServedTransfers(), a.srv.RefusedConns())
 		}
 	}
+}
+
+// shutdown stops the server — which drains the connection handlers, so
+// every completed transfer has reached the sink — then flushes and
+// closes the log. Idempotent; the first error wins.
+func (a *app) shutdown() error {
+	a.closeOnce.Do(func() {
+		a.closeErr = a.srv.Close()
+		a.logMu.Lock()
+		defer a.logMu.Unlock()
+		if a.logFile == nil {
+			return
+		}
+		if err := a.logWriter.Flush(); err != nil && a.closeErr == nil {
+			a.closeErr = err
+		}
+		if err := a.logFile.Close(); err != nil && a.closeErr == nil {
+			a.closeErr = err
+		}
+		a.logWriter = nil
+		a.logFile = nil
+	})
+	return a.closeErr
 }
 
 func bandwidthOf(r liveserver.TransferRecord) int64 {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/liveserver"
+	"repro/internal/wmslog"
+)
+
+// TestShutdownFlushesTransferLog covers the interrupt path: a transfer
+// completes just before shutdown, and its entry must survive in the log
+// file — flushed and closed — after the loop returns.
+func TestShutdownFlushesTransferLog(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "transfers.log")
+	a, err := newApp("127.0.0.1:0", logPath, 110000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- a.loop(interrupt, time.Hour, io.Discard) }()
+
+	c, err := liveserver.Dial(a.srv.Addr(), "player-test-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Watch("/live/feed1", 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	interrupt <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("loop returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+
+	// The entry must be on disk: without the shutdown flush it would
+	// still be sitting in the 64 KiB writer buffer.
+	entries, st, err := wmslog.ReadFiles([]string{logPath}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 0 {
+		t.Errorf("malformed lines: %d", st.Malformed)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("logged %d entries, want 1", len(entries))
+	}
+	if entries[0].PlayerID != "player-test-1" || entries[0].URIStem != "/live/feed1" {
+		t.Errorf("unexpected entry: %+v", entries[0])
+	}
+	if entries[0].Bytes <= 0 {
+		t.Errorf("entry bytes = %d", entries[0].Bytes)
+	}
+
+	// Shutdown is idempotent.
+	if err := a.shutdown(); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestShutdownWithoutLog covers the no-log configuration.
+func TestShutdownWithoutLog(t *testing.T) {
+	a, err := newApp("127.0.0.1:0", "", 110000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupt := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- a.loop(interrupt, time.Hour, io.Discard) }()
+	interrupt <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("loop returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+}
+
+// TestShutdownWithActiveTransfer: shutting down while a transfer is
+// still streaming must not lose already-completed entries nor corrupt
+// the log (the in-flight transfer itself is aborted unlogged — live
+// viewers cannot be deferred).
+func TestShutdownWithActiveTransfer(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "transfers.log")
+	a, err := newApp("127.0.0.1:0", logPath, 110000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One transfer completes before shutdown…
+	done1, err := liveserver.Dial(a.srv.Addr(), "player-done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done1.Watch("/live/feed1", 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	done1.Close()
+
+	// …another is mid-stream when the interrupt lands.
+	mid, err := liveserver.Dial(a.srv.Addr(), "player-mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	watchDone := make(chan error, 1)
+	go func() {
+		_, err := mid.Watch("/live/feed2", time.Hour)
+		watchDone <- err
+	}()
+	time.Sleep(200 * time.Millisecond) // let the transfer start streaming
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- a.shutdown() }()
+	select {
+	case err := <-shutDone:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung on an active transfer")
+	}
+	<-watchDone // client observes the aborted stream
+
+	// The completed entry is on disk, intact.
+	entries, st, err := wmslog.ReadFiles([]string{logPath}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 0 {
+		t.Fatalf("log corrupt after shutdown: %d malformed lines", st.Malformed)
+	}
+	found := false
+	for _, e := range entries {
+		if e.PlayerID == "player-done" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("completed transfer missing from flushed log (%d entries)", len(entries))
+	}
+}

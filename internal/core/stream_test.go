@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunStreamedMatchesRun is the pipeline-level contract: the
+// streamed pass serves the exact request sequence of the materializing
+// pass (equal seeds), so exact quantities agree exactly and sketched
+// ones stay inside their documented bounds.
+func TestRunStreamedMatchesRun(t *testing.T) {
+	cfg, err := DefaultConfig(300, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Server.SpanningPerMillion = 0
+
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := RunStreamed(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if streamed.Sessions != batch.Sessions {
+		t.Errorf("sessions: %d vs %d", streamed.Sessions, batch.Sessions)
+	}
+	if streamed.Served.PeakConcurrency != batch.Peak {
+		t.Errorf("peak: %d vs %d", streamed.Served.PeakConcurrency, batch.Peak)
+	}
+	if streamed.Served.Transfers != batch.Char.Basic.Transfers {
+		t.Errorf("transfers: %d vs %d", streamed.Served.Transfers, batch.Char.Basic.Transfers)
+	}
+	if streamed.Served.TotalBytes != batch.Char.Basic.TotalBytes {
+		t.Errorf("bytes: %d vs %d", streamed.Served.TotalBytes, batch.Char.Basic.TotalBytes)
+	}
+	if streamed.Online.Objects != batch.Char.Basic.Objects {
+		t.Errorf("objects: %d vs %d", streamed.Online.Objects, batch.Char.Basic.Objects)
+	}
+	if streamed.Online.ASes != batch.Char.Basic.ASes {
+		t.Errorf("ASes: %d vs %d", streamed.Online.ASes, batch.Char.Basic.ASes)
+	}
+	users := float64(batch.Char.Basic.Users)
+	if rel := math.Abs(streamed.Online.Clients-users) / users; rel > 0.03 {
+		t.Errorf("clients: %v vs %v (rel %.4f)", streamed.Online.Clients, users, rel)
+	}
+	ips := float64(batch.Char.Basic.IPs)
+	if rel := math.Abs(streamed.Online.IPs-ips) / ips; rel > 0.03 {
+		t.Errorf("IPs: %v vs %v (rel %.4f)", streamed.Online.IPs, ips, rel)
+	}
+	if streamed.Online.PeakConcurrency != batch.Peak {
+		t.Errorf("online peak: %d vs %d", streamed.Online.PeakConcurrency, batch.Peak)
+	}
+}
+
+// TestRunStreamedShardInvariant: the report must not depend on the
+// shard count.
+func TestRunStreamedShardInvariant(t *testing.T) {
+	cfg, err := DefaultConfig(400, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunStreamed(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStreamed(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != b.Served {
+		t.Errorf("served: %+v vs %+v", a.Served, b.Served)
+	}
+	if a.Sessions != b.Sessions {
+		t.Errorf("sessions: %d vs %d", a.Sessions, b.Sessions)
+	}
+	if a.Online.Clients != b.Online.Clients || a.Online.LengthP90 != b.Online.LengthP90 {
+		t.Error("online snapshot depends on shard count")
+	}
+}
+
+func TestRunStreamedRejectsBadConfig(t *testing.T) {
+	cfg, err := DefaultConfig(300, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SessionTimeout = 0
+	if _, err := RunStreamed(cfg, 2); err == nil {
+		t.Error("bad config accepted")
+	}
+	cfg, _ = DefaultConfig(300, 2, 1)
+	if _, err := RunStreamed(cfg, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+}

@@ -107,6 +107,62 @@ func (p *PiecewisePoisson) Arrivals(rng *rand.Rand, horizon float64, buf []float
 	return out
 }
 
+// PoissonStream is a lazy arrival iterator over [0, horizon): the same
+// Lewis–Shedler thinning as Arrivals, pulled one arrival at a time so
+// the consumer never materializes the arrival slice. Given the same rng
+// state, the emitted sequence is draw-for-draw identical to Arrivals.
+type PoissonStream struct {
+	rates   []float64
+	maxRate float64
+	window  float64
+	horizon float64
+	rng     *rand.Rand
+	t       float64
+	primed  bool
+}
+
+// Stream returns a lazy arrival iterator over [0, horizon).
+func (p *PiecewisePoisson) Stream(rng *rand.Rand, horizon float64) *PoissonStream {
+	s := &PoissonStream{window: p.window, horizon: horizon, rng: rng}
+	if horizon <= 0 {
+		s.primed = true
+		s.t = horizon
+		return s
+	}
+	s.rates = p.windowRates(horizon)
+	for _, r := range s.rates {
+		if r > s.maxRate {
+			s.maxRate = r
+		}
+	}
+	return s
+}
+
+// Next returns the next arrival instant, or false when the horizon is
+// exhausted. Arrivals are strictly increasing.
+func (s *PoissonStream) Next() (float64, bool) {
+	if s.maxRate == 0 {
+		return 0, false
+	}
+	if !s.primed {
+		s.t = s.rng.ExpFloat64() / s.maxRate
+		s.primed = true
+	}
+	for s.t < s.horizon {
+		t := s.t
+		k := int(t / s.window)
+		if k >= len(s.rates) {
+			k = len(s.rates) - 1
+		}
+		accept := s.rng.Float64()*s.maxRate < s.rates[k]
+		s.t += s.rng.ExpFloat64() / s.maxRate
+		if accept {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
 // ExpectedCount integrates the piecewise-constant rate over [0, horizon):
 // the expected number of arrivals.
 func (p *PiecewisePoisson) ExpectedCount(horizon float64) float64 {

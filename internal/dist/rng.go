@@ -1,0 +1,61 @@
+package dist
+
+// SplitMix64 is a tiny, fast, seedable rand.Source64 (Steele, Lea &
+// Flood, "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014).
+//
+// Its 8-byte state is what makes the sharded workload generator viable:
+// every session gets its own decorrelated random stream derived from
+// (seed, session index) alone, so a shard can reseed one source per
+// session instead of allocating the ~5 KB state of the default Go
+// source, and the generated workload is independent of how sessions are
+// partitioned across shards.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a source seeded with the given state.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+const (
+	splitmixGamma = 0x9E3779B97F4A7C15 // 2^64 / golden ratio
+	splitmixMulA  = 0xBF58476D1CE4E5B9
+	splitmixMulB  = 0x94D049BB133111EB
+)
+
+// mix64 is the splitmix64 output finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= splitmixMulA
+	z ^= z >> 27
+	z *= splitmixMulB
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 advances the state by the golden-ratio gamma and finalizes it.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += splitmixGamma
+	return mix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix64) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Seed implements rand.Source, resetting the state.
+func (s *SplitMix64) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// Mix64 derives a decorrelated child seed from a parent seed and a
+// stream (lane) index: the splitmix64 finalizer applied to the parent
+// advanced by lane+1 gammas. Equal inputs give equal outputs;
+// neighbouring lanes give statistically independent streams. This is the
+// shard-seeding scheme of the streaming generator (DESIGN.md): child
+// RNGs keyed by (seed, lane) are reproducible without any shared state.
+func Mix64(seed, lane uint64) uint64 {
+	return mix64(seed + (lane+1)*splitmixGamma)
+}

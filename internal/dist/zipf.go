@@ -38,11 +38,22 @@ func NewZipf(alpha float64, n int) (*Zipf, error) {
 
 // SampleRank draws a rank in [1, N] by inverting the cumulative table.
 func (z *Zipf) SampleRank(rng *rand.Rand) int {
-	total := z.cum[len(z.cum)-1]
-	u := rng.Float64() * total
+	return z.RankOfU(rng.Float64() * z.Total())
+}
+
+// Total returns the total unnormalized weight (the scale of RankOfU's
+// domain).
+func (z *Zipf) Total() float64 { return z.cum[len(z.cum)-1] }
+
+// RankOfU inverts the cumulative table for a pre-drawn variate
+// u ∈ [0, Total()). Splitting the draw from the inversion lets callers
+// derive u from a counter-mode RNG (sharded generation binds sessions to
+// clients by u-band, so ownership is O(1) and only the owner pays the
+// O(log N) search).
+func (z *Zipf) RankOfU(u float64) int {
 	i := sort.SearchFloat64s(z.cum, u)
 	// SearchFloat64s returns the first index with cum >= u; u == cum[i]
-	// has probability zero, and u < total guarantees i < N.
+	// has probability zero, and u < Total() guarantees i < N.
 	if i >= z.N {
 		i = z.N - 1
 	}

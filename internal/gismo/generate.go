@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/workload"
 )
 
 // Request is one generated transfer request: client ID, live object, start
@@ -22,8 +22,11 @@ type Request struct {
 // End returns Start + Duration.
 func (r Request) End() int64 { return r.Start + r.Duration }
 
-// Workload is a fully generated synthetic workload: the client population
-// plus the request stream in start order.
+// Workload is a fully materialized synthetic workload: the client
+// population plus the request stream in start order. It is the
+// compatibility form of the event stream (NewStream) for consumers that
+// need random access; scale-sensitive paths should consume the stream
+// directly.
 type Workload struct {
 	Model      Model
 	Population *Population
@@ -44,64 +47,66 @@ type Workload struct {
 //     are separated by lognormal gaps (row 5).
 //  4. Each transfer's length is a lognormal draw (row 6), truncated at
 //     the trace horizon.
+//
+// Generate is a thin wrapper that drains the sharded event stream
+// (NewStream) into a slice: rng contributes only the stream seed, and
+// the result is identical to consuming the stream at any shard count.
 func Generate(m Model, rng *rand.Rand) (*Workload, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	profile, err := m.profile()
+	ws, err := NewStream(m, rng.Int63(), DefaultShards())
 	if err != nil {
 		return nil, err
 	}
-	rateFn, err := m.effectiveRate(profile.Rate, rng)
-	if err != nil {
-		return nil, err
-	}
-	pp, err := dist.NewPiecewisePoisson(rateFn, m.PoissonWindow)
-	if err != nil {
-		return nil, err
-	}
-	interest, err := dist.NewZipf(m.Interest.Alpha, m.Interest.N)
-	if err != nil {
-		return nil, err
-	}
-	perSession, err := dist.NewZipf(m.TransfersPerSession.Alpha, m.TransfersPerSession.N)
-	if err != nil {
-		return nil, err
-	}
-	gap, err := m.gapSampler()
-	if err != nil {
-		return nil, err
-	}
-	length, err := m.lengthSampler()
-	if err != nil {
-		return nil, err
-	}
-	pop, err := NewPopulation(m.NumClients, m.Topology, rng)
-	if err != nil {
-		return nil, err
-	}
-
-	arrivals := pp.Arrivals(rng, float64(m.Horizon), nil)
+	defer ws.Close()
 	w := &Workload{
-		Model:        m,
-		Population:   pop,
-		Requests:     make([]Request, 0, len(arrivals)*2),
-		SessionCount: len(arrivals),
+		Model:      m,
+		Population: ws.Population(),
+		Requests:   make([]Request, 0, ws.Sessions()*2),
 	}
-	// A client's interest rank doubles as its identity: rank r maps to
-	// client r-1. A fixed random permutation would decorrelate identity
-	// from rank; the dense mapping keeps Figure 7's rank axis meaningful.
-	for _, at := range arrivals {
-		client := interest.SampleRank(rng) - 1
-		w.generateSession(rng, client, int64(at), perSession, gap, length)
-	}
-	sort.Slice(w.Requests, func(i, j int) bool {
-		if w.Requests[i].Start != w.Requests[j].Start {
-			return w.Requests[i].Start < w.Requests[j].Start
+	for {
+		e, ok := ws.Next()
+		if !ok {
+			break
 		}
-		return w.Requests[i].Client < w.Requests[j].Client
-	})
+		w.Requests = append(w.Requests, Request{
+			Client:   e.Client,
+			Object:   e.Object,
+			Start:    e.Start,
+			Duration: e.Duration,
+		})
+	}
+	w.SessionCount = ws.Sessions()
 	return w, nil
+}
+
+// Stream replays the materialized workload as an event stream, reading
+// the request slice in place (no copy) and assigning each request its
+// position as the session key so the (Start, Session, Seq) total order
+// matches the slice order.
+func (w *Workload) Stream() workload.Stream {
+	return &requestStream{requests: w.Requests}
+}
+
+// requestStream is a zero-copy cursor over a request slice.
+type requestStream struct {
+	requests []Request
+	pos      int
+}
+
+// Next implements workload.Stream.
+func (rs *requestStream) Next() (workload.Event, bool) {
+	if rs.pos >= len(rs.requests) {
+		return workload.Event{}, false
+	}
+	r := rs.requests[rs.pos]
+	e := workload.Event{
+		Session:  rs.pos,
+		Client:   r.Client,
+		Object:   r.Object,
+		Start:    r.Start,
+		Duration: r.Duration,
+	}
+	rs.pos++
+	return e, true
 }
 
 // effectiveRate composes the periodic profile with the model's
@@ -146,46 +151,16 @@ func (m *Model) effectiveRate(base func(float64) float64, rng *rand.Rand) (func(
 	}, nil
 }
 
-// generateSession emits the transfers of one session beginning at start.
-func (w *Workload) generateSession(rng *rand.Rand, client int, start int64, perSession *dist.Zipf, gap, length dist.Lognormal) {
-	n := perSession.SampleRank(rng)
-	t := start
-	for k := 0; k < n; k++ {
-		if k > 0 {
-			t += int64(gap.Sample(rng))
-		}
-		if t >= w.Model.Horizon {
-			return
-		}
-		d := int64(length.Sample(rng))
-		if d < 1 {
-			d = 1
-		}
-		if t+d > w.Model.Horizon {
-			d = w.Model.Horizon - t
-			if d < 1 {
-				return
-			}
-		}
-		w.Requests = append(w.Requests, Request{
-			Client:   client,
-			Object:   w.pickObject(rng),
-			Start:    t,
-			Duration: d,
-		})
-	}
-}
-
 // pickObject selects a live object: object 0 with probability
 // FeedPreference, otherwise uniform over the rest.
-func (w *Workload) pickObject(rng *rand.Rand) int {
-	if w.Model.NumObjects == 1 {
+func (m *Model) pickObject(rng *rand.Rand) int {
+	if m.NumObjects == 1 {
 		return 0
 	}
-	if rng.Float64() < w.Model.FeedPreference {
+	if rng.Float64() < m.FeedPreference {
 		return 0
 	}
-	return 1 + rng.Intn(w.Model.NumObjects-1)
+	return 1 + rng.Intn(m.NumObjects-1)
 }
 
 // ExpectedSessions returns the expected number of sessions the arrival

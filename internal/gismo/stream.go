@@ -1,0 +1,331 @@
+package gismo
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/heapx"
+	"repro/internal/workload"
+)
+
+// Seed-derivation lanes (DESIGN.md, shard-seeding scheme). Every random
+// decision in a streamed generation is keyed to (seed, lane) — or, for
+// session bodies, to (seed, session index) — so the emitted event
+// sequence is a pure function of the seed, independent of the shard
+// count and of goroutine scheduling.
+const (
+	laneRate       uint64 = 0 // day factors, ramp, event schedule
+	lanePopulation uint64 = 1 // client placement and environment
+	laneArrivals   uint64 = 2 // Poisson thinning
+	laneSessions   uint64 = 3 // root for per-session body streams
+	laneInterest   uint64 = 4 // root for per-session interest draws
+)
+
+const (
+	// streamBatch is the number of events a shard hands to the merge
+	// layer per channel operation.
+	streamBatch = 512
+	// streamBatchDepth is the per-shard channel depth, bounding how far
+	// a fast shard can run ahead of the merge point.
+	streamBatchDepth = 4
+	// MaxShards bounds the shard count.
+	MaxShards = 1024
+)
+
+// WorkloadStream is the sharded streaming form of Generate: the same
+// Section 6 generative model, emitted as a time-ordered event stream
+// whose working set is the arrival schedule (16 bytes per session) plus
+// the active sessions' pending transfers — never the materialized
+// request slice.
+//
+// Construction draws the global arrival schedule once — the Poisson
+// thinning, the inherently serial sliver of the work — from the seed's
+// arrival lane. Each of K shards then walks that shared read-only
+// schedule; a session's interest variate comes from a counter-mode
+// splitmix draw keyed by (seed, session index), so any shard can
+// compute it in O(1), and ownership is the variate's K-quantile band:
+// clients are partitioned across shards in contiguous interest-weight
+// bands, each carrying ~1/K of the sessions, and only the owner pays
+// the O(log N) Zipf inversion. Owned sessions are expanded eagerly from
+// a per-session splitmix RNG and released once the schedule cursor
+// guarantees nothing earlier can appear. The K ordered shard outputs
+// are merged back into the (Start, Session, Seq) total order, so the
+// stream is byte-identical for every shard count.
+type WorkloadStream struct {
+	model    Model
+	seed     int64
+	shards   int
+	pop      *Population
+	schedule []int64 // session arrival instants, ascending
+	merged   workload.Stream
+	done     chan struct{}
+	closed   atomic.Bool
+}
+
+// NewStream validates the model and starts the sharded generator.
+// Callers must either drain the stream or Close it.
+func NewStream(m Model, seed int64, shards int) (*WorkloadStream, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadModel, shards)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	profile, err := m.profile()
+	if err != nil {
+		return nil, err
+	}
+	rateRng := rand.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), laneRate)))
+	rateFn, err := m.effectiveRate(profile.Rate, rateRng)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := dist.NewPiecewisePoisson(rateFn, m.PoissonWindow)
+	if err != nil {
+		return nil, err
+	}
+	interest, err := dist.NewZipf(m.Interest.Alpha, m.Interest.N)
+	if err != nil {
+		return nil, err
+	}
+	perSession, err := dist.NewZipf(m.TransfersPerSession.Alpha, m.TransfersPerSession.N)
+	if err != nil {
+		return nil, err
+	}
+	gap, err := m.gapSampler()
+	if err != nil {
+		return nil, err
+	}
+	length, err := m.lengthSampler()
+	if err != nil {
+		return nil, err
+	}
+	popRng := rand.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), lanePopulation)))
+	pop, err := NewPopulation(m.NumClients, m.Topology, popRng)
+	if err != nil {
+		return nil, err
+	}
+
+	ws := &WorkloadStream{
+		model:  m,
+		seed:   seed,
+		shards: shards,
+		pop:    pop,
+		done:   make(chan struct{}),
+	}
+	// The serial prologue: one pass of Poisson thinning fixes every
+	// session's arrival instant. Shards share this schedule read-only;
+	// everything per-session happens in them.
+	arrRng := rand.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), laneArrivals)))
+	arrivals := pp.Stream(arrRng, float64(m.Horizon))
+	for {
+		at, ok := arrivals.Next()
+		if !ok {
+			break
+		}
+		ws.schedule = append(ws.schedule, int64(at))
+	}
+
+	inputs := make([]workload.Stream, shards)
+	for s := 0; s < shards; s++ {
+		out := make(chan []workload.Event, streamBatchDepth)
+		inputs[s] = &shardOutput{ch: out}
+		go ws.runShard(s, out, interest, perSession, gap, length)
+	}
+	ws.merged = workload.Merge(inputs...)
+	return ws, nil
+}
+
+// interestUniform is session idx's interest variate in [0, 1): the
+// counter-mode splitmix stream of the seed's interest lane evaluated at
+// idx. Pure and O(1), so every shard can test ownership without
+// replaying a sequential RNG.
+func interestUniform(interestRoot uint64, idx int) float64 {
+	return float64(dist.Mix64(interestRoot, uint64(idx))>>11) / (1 << 53)
+}
+
+// Next implements workload.Stream.
+func (ws *WorkloadStream) Next() (workload.Event, bool) {
+	if ws.closed.Load() {
+		return workload.Event{}, false
+	}
+	return ws.merged.Next()
+}
+
+// Close releases the shard goroutines of a stream that will not be
+// drained. It is idempotent; draining to exhaustion makes it a no-op.
+func (ws *WorkloadStream) Close() {
+	if ws.closed.CompareAndSwap(false, true) {
+		close(ws.done)
+	}
+}
+
+// Population returns the generated client population.
+func (ws *WorkloadStream) Population() *Population { return ws.pop }
+
+// Model returns the generating model.
+func (ws *WorkloadStream) Model() Model { return ws.model }
+
+// Sessions returns the number of generated sessions (client arrivals).
+func (ws *WorkloadStream) Sessions() int { return len(ws.schedule) }
+
+// Shards returns the shard count.
+func (ws *WorkloadStream) Shards() int { return ws.shards }
+
+// runShard generates the events of the sessions owned by shard s, in
+// stream order, batching them onto out.
+func (ws *WorkloadStream) runShard(s int, out chan<- []workload.Event, interest, perSession *dist.Zipf, gap, length dist.Lognormal) {
+	defer close(out)
+	m := ws.model
+	sessionRoot := dist.Mix64(uint64(ws.seed), laneSessions)
+	interestRoot := dist.Mix64(uint64(ws.seed), laneInterest)
+	interestTotal := interest.Total()
+	sessSrc := dist.NewSplitMix64(0)
+	sessRng := rand.New(sessSrc)
+
+	pending := newCursorHeap()
+	batch := make([]workload.Event, 0, streamBatch)
+	flushBatch := func() bool {
+		select {
+		case out <- batch:
+			batch = make([]workload.Event, 0, streamBatch)
+			return true
+		case <-ws.done:
+			return false
+		}
+	}
+
+	for idx, at := range ws.schedule {
+		bound := workload.Event{Start: at, Session: idx}
+		// Release pending events that precede the next arrival: no
+		// later session can produce anything earlier.
+		for pending.Len() > 0 && pending.Peek().head().Less(bound) {
+			batch = append(batch, pending.Peek().head())
+			if len(batch) == streamBatch && !flushBatch() {
+				return
+			}
+			advanceCursor(&pending)
+		}
+		u := interestUniform(interestRoot, idx)
+		if owner := int(u * float64(ws.shards)); owner == s ||
+			(owner >= ws.shards && s == ws.shards-1) { // guard float rounding at u→1
+			client := interest.RankOfU(u*interestTotal) - 1
+			sessSrc.Seed(int64(dist.Mix64(sessionRoot, uint64(idx))))
+			if events := expandSession(&m, idx, client, at, sessRng, perSession, gap, length); len(events) > 0 {
+				pending.Push(cursor{events: events})
+			}
+		}
+	}
+	for pending.Len() > 0 {
+		batch = append(batch, pending.Peek().head())
+		if len(batch) == streamBatch && !flushBatch() {
+			return
+		}
+		advanceCursor(&pending)
+	}
+	if len(batch) > 0 {
+		flushBatch()
+	}
+}
+
+// expandSession draws one session's transfers from its dedicated RNG:
+// transfer count (Zipf), intra-session gaps and lengths (lognormal),
+// object choice — the same draw order per transfer as the original
+// materializing generator, truncated at the horizon.
+func expandSession(m *Model, session, client int, start int64, rng *rand.Rand, perSession *dist.Zipf, gap, length dist.Lognormal) []workload.Event {
+	n := perSession.SampleRank(rng)
+	events := make([]workload.Event, 0, n)
+	t := start
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			t += int64(gap.Sample(rng))
+		}
+		if t >= m.Horizon {
+			break
+		}
+		d := int64(length.Sample(rng))
+		if d < 1 {
+			d = 1
+		}
+		if t+d > m.Horizon {
+			d = m.Horizon - t
+			if d < 1 {
+				break
+			}
+		}
+		events = append(events, workload.Event{
+			Session:  session,
+			Seq:      len(events),
+			Client:   client,
+			Object:   m.pickObject(rng),
+			Start:    t,
+			Duration: d,
+		})
+	}
+	return events
+}
+
+// shardOutput adapts a shard's batch channel to workload.Stream for the
+// merge layer. Single-consumer, like every Stream.
+type shardOutput struct {
+	ch    <-chan []workload.Event
+	batch []workload.Event
+	pos   int
+}
+
+func (so *shardOutput) Next() (workload.Event, bool) {
+	for so.pos >= len(so.batch) {
+		b, ok := <-so.ch
+		if !ok {
+			return workload.Event{}, false
+		}
+		so.batch, so.pos = b, 0
+	}
+	e := so.batch[so.pos]
+	so.pos++
+	return e, true
+}
+
+// cursor walks one expanded session. Events within a session are in
+// stream order by construction (gaps are non-negative, Seq increases).
+type cursor struct {
+	events []workload.Event
+	pos    int
+}
+
+func (c cursor) head() workload.Event { return c.events[c.pos] }
+
+// newCursorHeap builds the min-heap of session cursors keyed by head
+// event.
+func newCursorHeap() heapx.Heap[cursor] {
+	return heapx.New(func(a, b cursor) bool { return a.head().Less(b.head()) })
+}
+
+// advanceCursor consumes the top cursor's head event: steps it forward
+// in place, or removes the cursor when its session is exhausted.
+func advanceCursor(h *heapx.Heap[cursor]) {
+	top := h.Top()
+	top.pos++
+	if top.pos >= len(top.events) {
+		h.Pop()
+		return
+	}
+	h.FixTop()
+}
+
+// DefaultShards picks the shard count for the Generate compatibility
+// wrapper: one per CPU, capped. The stream is shard-count-invariant, so
+// this only affects speed, never output.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package gismo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func drainStream(t *testing.T, m Model, seed int64, shards int) ([]workload.Event, int) {
+	t.Helper()
+	ws, err := NewStream(m, seed, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	events := workload.Drain(ws, 0)
+	return events, ws.Sessions()
+}
+
+// TestStreamShardCountInvariant is the determinism contract of the
+// sharded generator: for a fixed seed, shards=1 and shards=8 (and any
+// other count) must produce byte-identical event sequences.
+func TestStreamShardCountInvariant(t *testing.T) {
+	m := testModel()
+	const seed = 20020106
+	base, baseSessions := drainStream(t, m, seed, 1)
+	if len(base) == 0 {
+		t.Fatal("empty stream")
+	}
+	for _, shards := range []int{2, 3, 8} {
+		got, sessions := drainStream(t, m, seed, shards)
+		if len(got) != len(base) {
+			t.Fatalf("shards=%d: %d events, shards=1: %d", shards, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("shards=%d: event %d differs: %+v vs %+v", shards, i, got[i], base[i])
+			}
+		}
+		if sessions != baseSessions {
+			t.Errorf("shards=%d: %d sessions, shards=1: %d", shards, sessions, baseSessions)
+		}
+	}
+}
+
+// TestStreamMatchesGenerate pins the compatibility wrapper to the
+// stream: Generate must be exactly a drained stream.
+func TestStreamMatchesGenerate(t *testing.T) {
+	m := testModel()
+	rng := rand.New(rand.NewSource(404))
+	seed := rng.Int63()
+	w, err := Generate(m, rand.New(rand.NewSource(404)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, sessions := drainStream(t, m, seed, 4)
+	if len(events) != len(w.Requests) {
+		t.Fatalf("stream %d events vs Generate %d requests", len(events), len(w.Requests))
+	}
+	for i, e := range events {
+		r := w.Requests[i]
+		if e.Client != r.Client || e.Object != r.Object || e.Start != r.Start || e.Duration != r.Duration {
+			t.Fatalf("event %d: %+v vs request %+v", i, e, r)
+		}
+	}
+	if sessions != w.SessionCount {
+		t.Errorf("sessions: stream %d vs Generate %d", sessions, w.SessionCount)
+	}
+}
+
+func TestStreamOrderAndBounds(t *testing.T) {
+	m := testModel()
+	ws, err := NewStream(m, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	var prev workload.Event
+	n := 0
+	for {
+		e, ok := ws.Next()
+		if !ok {
+			break
+		}
+		if n > 0 && e.Less(prev) {
+			t.Fatalf("event %d out of order: %+v after %+v", n, e, prev)
+		}
+		if e.Start < 0 || e.End() > m.Horizon {
+			t.Fatalf("event escapes horizon: %+v", e)
+		}
+		if e.Client < 0 || e.Client >= m.NumClients {
+			t.Fatalf("bad client %d", e.Client)
+		}
+		if e.Object < 0 || e.Object >= m.NumObjects {
+			t.Fatalf("bad object %d", e.Object)
+		}
+		if e.Duration < 1 {
+			t.Fatalf("bad duration %+v", e)
+		}
+		prev = e
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty stream")
+	}
+	// Exhausted stream stays exhausted.
+	if _, ok := ws.Next(); ok {
+		t.Error("exhausted stream yielded an event")
+	}
+}
+
+// TestStreamCloseWithoutDraining must release the shard goroutines and
+// leave the stream unusable but safe.
+func TestStreamCloseWithoutDraining(t *testing.T) {
+	m := testModel()
+	ws, err := NewStream(m, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := ws.Next(); !ok {
+			t.Fatal("stream ended after 10 events")
+		}
+	}
+	ws.Close()
+	ws.Close() // idempotent
+	if _, ok := ws.Next(); ok {
+		t.Error("closed stream yielded an event")
+	}
+}
+
+func TestNewStreamRejectsBadInputs(t *testing.T) {
+	m := testModel()
+	if _, err := NewStream(m, 1, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewStream(m, 1, MaxShards+1); err == nil {
+		t.Error("huge shard count accepted")
+	}
+	bad := m
+	bad.Horizon = -1
+	if _, err := NewStream(bad, 1, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestWorkloadStreamReplay(t *testing.T) {
+	m := testModel()
+	w, err := Generate(m, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := workload.Drain(w.Stream(), len(w.Requests))
+	if len(replayed) != len(w.Requests) {
+		t.Fatalf("replayed %d events, want %d", len(replayed), len(w.Requests))
+	}
+	for i, e := range replayed {
+		r := w.Requests[i]
+		if e.Client != r.Client || e.Start != r.Start || e.Duration != r.Duration || e.Object != r.Object {
+			t.Fatalf("event %d mismatch", i)
+		}
+		if i > 0 && e.Less(replayed[i-1]) {
+			t.Fatal("replayed stream out of order")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package heapx is a minimal generic binary min-heap. The streaming
+// pipeline keeps several per-event heaps on hot paths — active transfer
+// end times, the log-entry reorder buffer, per-shard session cursors —
+// and they all share this one implementation instead of hand-rolling
+// sift loops. Unlike container/heap there is no interface indirection,
+// and FixTop supports the mutate-the-minimum pattern (advance a cursor
+// in place) without a pop/push pair.
+package heapx
+
+// Heap is a binary min-heap ordered by less. The zero value with a
+// non-nil less (use New) is ready to use.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) Heap[T] {
+	return Heap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Peek returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Push adds v.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum element. It panics on an empty
+// heap.
+func (h *Heap[T]) Pop() T {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero // release references held by the slot
+	h.items = h.items[:n]
+	h.siftDown()
+	return top
+}
+
+// ReplaceTop overwrites the minimum element with v and restores heap
+// order — a pop/push pair without the slide. It panics on an empty
+// heap.
+func (h *Heap[T]) ReplaceTop(v T) {
+	h.items[0] = v
+	h.siftDown()
+}
+
+// FixTop restores heap order after the caller mutated the minimum
+// element in place (e.g. advanced a cursor).
+func (h *Heap[T]) FixTop() { h.siftDown() }
+
+// Top returns a pointer to the minimum element for in-place mutation;
+// call FixTop afterwards. It panics on an empty heap.
+func (h *Heap[T]) Top() *T { return &h.items[0] }
+
+func (h *Heap[T]) siftDown() {
+	n := len(h.items)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,75 @@
+package heapx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := New(func(a, b int64) bool { return a < b })
+	want := make([]int64, 2000)
+	for i := range want {
+		want[i] = int64(rng.Intn(500)) // plenty of duplicates
+		h.Push(want[i])
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		if h.Peek() != w {
+			t.Fatalf("peek %d: got %d want %d", i, h.Peek(), w)
+		}
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d: got %d want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len = %d after draining", h.Len())
+	}
+}
+
+func TestHeapReplaceTopAndFixTop(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 1, 9, 3, 7} {
+		h.Push(v)
+	}
+	h.ReplaceTop(8) // 1 -> 8
+	if h.Peek() != 3 {
+		t.Fatalf("peek after ReplaceTop = %d, want 3", h.Peek())
+	}
+	*h.Top() = 100
+	h.FixTop()
+	if h.Peek() != 5 {
+		t.Fatalf("peek after FixTop = %d, want 5", h.Peek())
+	}
+	got := []int{}
+	for h.Len() > 0 {
+		got = append(got, h.Pop())
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("drain not sorted: %v", got)
+	}
+}
+
+func TestHeapStructElements(t *testing.T) {
+	type item struct {
+		key, seq int64
+	}
+	h := New(func(a, b item) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	})
+	for i, k := range []int64{3, 1, 3, 2, 1} {
+		h.Push(item{key: k, seq: int64(i)})
+	}
+	var prev item
+	for i := 0; h.Len() > 0; i++ {
+		cur := h.Pop()
+		if i > 0 && (cur.key < prev.key || (cur.key == prev.key && cur.seq < prev.seq)) {
+			t.Fatalf("out of order: %+v after %+v", cur, prev)
+		}
+		prev = cur
+	}
+}

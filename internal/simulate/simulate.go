@@ -24,10 +24,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/gismo"
+	"repro/internal/heapx"
 	"repro/internal/trace"
 	"repro/internal/wmslog"
 )
@@ -122,7 +122,11 @@ type Result struct {
 	Injected int
 }
 
-// Run serves the workload and returns the resulting trace and log.
+// Run serves the workload and returns the resulting trace and log. It
+// is the materializing compatibility wrapper around RunStream: the
+// workload is replayed as an event stream and every transfer and log
+// entry is collected in memory. Scale-sensitive callers should use
+// RunStream with sinks instead.
 func Run(w *gismo.Workload, cfg Config, rng *rand.Rand) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -130,60 +134,21 @@ func Run(w *gismo.Workload, cfg Config, rng *rand.Rand) (*Result, error) {
 	if w == nil || len(w.Requests) == 0 {
 		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
 	}
-
-	concurrency := newConcurrencyTracker(len(w.Requests))
 	transfers := make([]trace.Transfer, 0, len(w.Requests))
 	entries := make([]*wmslog.Entry, 0, len(w.Requests))
-
-	for _, req := range w.Requests {
-		client := &w.Population.Clients[req.Client]
-		conc := concurrency.admit(req.Start, req.End())
-		cpu := cfg.cpuAt(conc, rng)
-		bw, congested := cfg.drawBandwidth(client.Access.Bps, rng)
-		payload := bw
-		if payload > cfg.EncodingBps {
-			payload = cfg.EncodingBps
-		}
-		bytes := payload * req.Duration / 8
-		loss := cfg.drawLoss(req.Duration, congested, rng)
-
-		transfers = append(transfers, trace.Transfer{
-			Client:    req.Client,
-			IP:        client.Placement.IP,
-			AS:        client.Placement.ASIndex + 1,
-			Country:   client.Placement.Country,
-			Object:    req.Object,
-			Start:     req.Start,
-			Duration:  req.Duration,
-			Bytes:     bytes,
-			Bandwidth: bw,
-			ServerCPU: cpu,
-		})
-		entries = append(entries, &wmslog.Entry{
-			Timestamp:    cfg.Epoch.Add(time.Duration(req.End()) * time.Second),
-			ClientIP:     client.Placement.IP,
-			PlayerID:     client.PlayerID,
-			ClientOS:     client.OS,
-			ClientCPU:    client.CPU,
-			URIStem:      ObjectURI(req.Object),
-			Duration:     req.Duration,
-			Bytes:        bytes,
-			AvgBandwidth: bw,
-			PacketsLost:  loss,
-			ServerCPU:    cpu,
-			Referer:      "http://show.example.br/aovivo",
-			Status:       200,
-			ASNumber:     client.Placement.ASIndex + 1,
-			Country:      client.Placement.Country,
-		})
-	}
-
-	injected := cfg.injectSpanning(w, entries, rng)
-	entries = append(entries, injected...)
-	sort.Slice(entries, func(i, j int) bool {
-		return entries[i].Timestamp.Before(entries[j].Timestamp)
+	res, err := RunStream(w.Stream(), w.Population, w.Model.Horizon, cfg, rng, StreamSinks{
+		Transfer: func(t trace.Transfer) error {
+			transfers = append(transfers, t)
+			return nil
+		},
+		Entry: func(e *wmslog.Entry) error {
+			entries = append(entries, e)
+			return nil
+		},
 	})
-
+	if err != nil {
+		return nil, err
+	}
 	tr, err := trace.New(w.Model.Horizon, transfers)
 	if err != nil {
 		return nil, err
@@ -191,30 +156,9 @@ func Run(w *gismo.Workload, cfg Config, rng *rand.Rand) (*Result, error) {
 	return &Result{
 		Trace:           tr,
 		Entries:         entries,
-		PeakConcurrency: concurrency.peak,
-		Injected:        len(injected),
+		PeakConcurrency: res.PeakConcurrency,
+		Injected:        res.Injected,
 	}, nil
-}
-
-// injectSpanning fabricates the corrupt multi-harvest entries of
-// Section 2.4: durations longer than the whole trace period.
-func (c *Config) injectSpanning(w *gismo.Workload, genuine []*wmslog.Entry, rng *rand.Rand) []*wmslog.Entry {
-	if c.SpanningPerMillion == 0 || len(genuine) == 0 {
-		return nil
-	}
-	n := len(genuine) * c.SpanningPerMillion / 1_000_000
-	if n == 0 && rng.Float64() < float64(len(genuine)*c.SpanningPerMillion%1_000_000)/1_000_000 {
-		n = 1
-	}
-	out := make([]*wmslog.Entry, 0, n)
-	for i := 0; i < n; i++ {
-		src := genuine[rng.Intn(len(genuine))]
-		dup := *src
-		dup.Duration = w.Model.Horizon + int64(rng.Intn(1_000_000)) + 1
-		dup.Bytes = dup.Duration * 1000
-		out = append(out, &dup)
-	}
-	return out
 }
 
 // WriteLogs streams the result's entries through a DailyWriter rooted at
@@ -245,65 +189,23 @@ func ObjectURI(i int) string {
 // concurrencyTracker tracks the number of active transfers as requests
 // are admitted in start order, using a min-heap of end times.
 type concurrencyTracker struct {
-	ends endHeap
+	ends heapx.Heap[int64]
 	peak int
 }
 
-func newConcurrencyTracker(capacity int) *concurrencyTracker {
-	return &concurrencyTracker{ends: make(endHeap, 0, capacity/16+1)}
+func newConcurrencyTracker() *concurrencyTracker {
+	return &concurrencyTracker{ends: heapx.New(func(a, b int64) bool { return a < b })}
 }
 
 // admit registers a transfer [start, end) and returns the concurrency
 // level including it. Requests must arrive in non-decreasing start order.
 func (c *concurrencyTracker) admit(start, end int64) int {
-	for len(c.ends) > 0 && c.ends[0] <= start {
-		c.ends.pop()
+	for c.ends.Len() > 0 && c.ends.Peek() <= start {
+		c.ends.Pop()
 	}
-	c.ends.push(end)
-	if len(c.ends) > c.peak {
-		c.peak = len(c.ends)
+	c.ends.Push(end)
+	if c.ends.Len() > c.peak {
+		c.peak = c.ends.Len()
 	}
-	return len(c.ends)
-}
-
-// endHeap is a minimal int64 min-heap (no container/heap interface
-// overhead on the hot path).
-type endHeap []int64
-
-func (h *endHeap) push(v int64) {
-	*h = append(*h, v)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if (*h)[parent] <= (*h)[i] {
-			break
-		}
-		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
-		i = parent
-	}
-}
-
-func (h *endHeap) pop() int64 {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && (*h)[l] < (*h)[smallest] {
-			smallest = l
-		}
-		if r < n && (*h)[r] < (*h)[smallest] {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
-	}
-	return top
+	return c.ends.Len()
 }

@@ -225,7 +225,7 @@ func TestWriteLogsRoundTrip(t *testing.T) {
 }
 
 func TestConcurrencyTracker(t *testing.T) {
-	c := newConcurrencyTracker(8)
+	c := newConcurrencyTracker()
 	if got := c.admit(0, 10); got != 1 {
 		t.Errorf("admit 1: %d", got)
 	}
@@ -240,21 +240,6 @@ func TestConcurrencyTracker(t *testing.T) {
 	}
 	if c.peak != 2 {
 		t.Errorf("peak = %d", c.peak)
-	}
-}
-
-func TestEndHeapOrdering(t *testing.T) {
-	var h endHeap
-	for _, v := range []int64{5, 3, 8, 1, 9, 2} {
-		h.push(v)
-	}
-	prev := int64(-1)
-	for len(h) > 0 {
-		v := h.pop()
-		if v < prev {
-			t.Fatalf("heap pop out of order: %d after %d", v, prev)
-		}
-		prev = v
 	}
 }
 

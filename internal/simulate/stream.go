@@ -1,0 +1,198 @@
+package simulate
+
+import (
+	"fmt"
+	"time"
+
+	"math/rand"
+
+	"repro/internal/gismo"
+	"repro/internal/heapx"
+	"repro/internal/trace"
+	"repro/internal/wmslog"
+	"repro/internal/workload"
+)
+
+// StreamSinks receives the simulator's output as it is produced.
+// Transfer is called in request-start order; Entry is called in log
+// order (non-decreasing timestamp — entries are released once no
+// still-active transfer can end earlier). Either may be nil. A sink
+// error aborts the run.
+type StreamSinks struct {
+	Transfer func(trace.Transfer) error
+	Entry    func(*wmslog.Entry) error
+}
+
+// StreamResult summarizes a streamed simulation run.
+type StreamResult struct {
+	// Transfers is the number of genuine transfers served.
+	Transfers int
+	// PeakConcurrency is the maximum number of simultaneously active
+	// transfers observed.
+	PeakConcurrency int
+	// Injected counts corrupt spanning entries emitted among the
+	// genuine ones (Section 2.4 artifacts).
+	Injected int
+	// TotalBytes sums bytes served across genuine transfers.
+	TotalBytes int64
+}
+
+// RunStream serves an event stream, holding O(active transfers) of
+// state: the concurrency heap plus a reorder buffer of log entries for
+// transfers that have started but not yet ended (entries are
+// timestamped at transfer end, requests arrive in start order). It is
+// the single serving implementation — Run is a materializing wrapper
+// around it.
+//
+// pop must cover every client ID in the stream; horizon bounds the
+// trace. Spanning-entry injection (cfg.SpanningPerMillion) becomes a
+// per-transfer Bernoulli draw at the same expected rate as the
+// materializing path's fixed count.
+func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Config, rng *rand.Rand, sinks StreamSinks) (*StreamResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pop == nil || pop.Size() == 0 {
+		return nil, fmt.Errorf("%w: empty population", ErrBadConfig)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadConfig, horizon)
+	}
+	defer workload.CloseStream(src)
+
+	res := &StreamResult{}
+	concurrency := newConcurrencyTracker()
+	pending := newPendingEntries()
+	var lastStart int64
+	injectP := float64(cfg.SpanningPerMillion) / 1_000_000
+
+	flushThrough := func(start int64, all bool) error {
+		for pending.heap.Len() > 0 && (all || pending.heap.Peek().end <= start) {
+			e := pending.pop()
+			if sinks.Entry != nil {
+				if err := sinks.Entry(e); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ev.Client < 0 || ev.Client >= pop.Size() {
+			return nil, fmt.Errorf("%w: client %d outside population of %d", ErrBadConfig, ev.Client, pop.Size())
+		}
+		if res.Transfers > 0 && ev.Start < lastStart {
+			return nil, fmt.Errorf("%w: stream not in start order (%d after %d)", ErrBadConfig, ev.Start, lastStart)
+		}
+		lastStart = ev.Start
+		if err := flushThrough(ev.Start, false); err != nil {
+			return nil, err
+		}
+
+		client := &pop.Clients[ev.Client]
+		conc := concurrency.admit(ev.Start, ev.End())
+		cpu := cfg.cpuAt(conc, rng)
+		bw, congested := cfg.drawBandwidth(client.Access.Bps, rng)
+		payload := bw
+		if payload > cfg.EncodingBps {
+			payload = cfg.EncodingBps
+		}
+		bytes := payload * ev.Duration / 8
+		loss := cfg.drawLoss(ev.Duration, congested, rng)
+		res.Transfers++
+		res.TotalBytes += bytes
+
+		if sinks.Transfer != nil {
+			err := sinks.Transfer(trace.Transfer{
+				Client:    ev.Client,
+				IP:        client.Placement.IP,
+				AS:        client.Placement.ASIndex + 1,
+				Country:   client.Placement.Country,
+				Object:    ev.Object,
+				Start:     ev.Start,
+				Duration:  ev.Duration,
+				Bytes:     bytes,
+				Bandwidth: bw,
+				ServerCPU: cpu,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		entry := &wmslog.Entry{
+			Timestamp:    cfg.Epoch.Add(time.Duration(ev.End()) * time.Second),
+			ClientIP:     client.Placement.IP,
+			PlayerID:     client.PlayerID,
+			ClientOS:     client.OS,
+			ClientCPU:    client.CPU,
+			URIStem:      ObjectURI(ev.Object),
+			Duration:     ev.Duration,
+			Bytes:        bytes,
+			AvgBandwidth: bw,
+			PacketsLost:  loss,
+			ServerCPU:    cpu,
+			Referer:      "http://show.example.br/aovivo",
+			Status:       200,
+			ASNumber:     client.Placement.ASIndex + 1,
+			Country:      client.Placement.Country,
+		}
+		pending.push(ev.End(), entry)
+
+		// Section 2.4 multi-harvest artifacts: with probability
+		// SpanningPerMillion/1e6 the entry gains a corrupt twin whose
+		// duration exceeds the trace period.
+		if injectP > 0 && rng.Float64() < injectP {
+			dup := *entry
+			dup.Duration = horizon + int64(rng.Intn(1_000_000)) + 1
+			dup.Bytes = dup.Duration * 1000
+			pending.push(ev.End(), &dup)
+			res.Injected++
+		}
+	}
+	if res.Transfers == 0 {
+		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
+	}
+	if err := flushThrough(0, true); err != nil {
+		return nil, err
+	}
+	res.PeakConcurrency = concurrency.peak
+	return res, nil
+}
+
+// pendingEntries is the reorder buffer of not-yet-emitted log entries,
+// a min-heap on (transfer end, admission order). The secondary key
+// makes the emission order — and therefore the log bytes — fully
+// deterministic under timestamp ties.
+type pendingEntries struct {
+	heap heapx.Heap[pendingEntry]
+	seq  int64
+}
+
+type pendingEntry struct {
+	end   int64
+	seq   int64
+	entry *wmslog.Entry
+}
+
+func newPendingEntries() pendingEntries {
+	return pendingEntries{heap: heapx.New(func(a, b pendingEntry) bool {
+		if a.end != b.end {
+			return a.end < b.end
+		}
+		return a.seq < b.seq
+	})}
+}
+
+func (p *pendingEntries) push(end int64, e *wmslog.Entry) {
+	p.heap.Push(pendingEntry{end: end, seq: p.seq, entry: e})
+	p.seq++
+}
+
+func (p *pendingEntries) pop() *wmslog.Entry {
+	return p.heap.Pop().entry
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventLessTotalOrder(t *testing.T) {
+	a := Event{Start: 1, Session: 0, Seq: 0}
+	b := Event{Start: 1, Session: 0, Seq: 1}
+	c := Event{Start: 1, Session: 2, Seq: 0}
+	d := Event{Start: 2, Session: 0, Seq: 0}
+	for _, tc := range []struct {
+		lo, hi Event
+	}{{a, b}, {a, c}, {b, c}, {c, d}, {a, d}} {
+		if !tc.lo.Less(tc.hi) {
+			t.Errorf("want %+v < %+v", tc.lo, tc.hi)
+		}
+		if tc.hi.Less(tc.lo) {
+			t.Errorf("want !(%+v < %+v)", tc.hi, tc.lo)
+		}
+	}
+	if a.Less(a) {
+		t.Error("irreflexivity violated")
+	}
+}
+
+func TestSliceStreamDrain(t *testing.T) {
+	events := []Event{
+		{Start: 0, Session: 0},
+		{Start: 3, Session: 1},
+		{Start: 3, Session: 1, Seq: 1},
+	}
+	got := Drain(NewSliceStream(events), 0)
+	if len(got) != len(events) {
+		t.Fatalf("drained %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+	s := NewSliceStream(nil)
+	if _, ok := s.Next(); ok {
+		t.Error("empty stream yielded an event")
+	}
+}
+
+func TestMergeRestoresTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Build a ground-truth ordered sequence, then deal sessions across K
+	// "shards" and verify the merge reproduces the sequence exactly.
+	var all []Event
+	for sess := 0; sess < 500; sess++ {
+		start := int64(rng.Intn(10_000))
+		n := 1 + rng.Intn(5)
+		t0 := start
+		for k := 0; k < n; k++ {
+			all = append(all, Event{
+				Session: sess, Seq: k, Client: sess % 37,
+				Start: t0, Duration: 1 + int64(rng.Intn(30)),
+			})
+			t0 += int64(rng.Intn(40)) // zero gaps allowed: ties within a session
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+
+	for _, k := range []int{1, 2, 3, 8} {
+		parts := make([][]Event, k)
+		for _, e := range all {
+			parts[e.Session%k] = append(parts[e.Session%k], e)
+		}
+		streams := make([]Stream, k)
+		for i := range parts {
+			streams[i] = NewSliceStream(parts[i])
+		}
+		got := Drain(Merge(streams...), len(all))
+		if len(got) != len(all) {
+			t.Fatalf("k=%d: merged %d events, want %d", k, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("k=%d: event %d: %+v != %+v", k, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	if _, ok := Merge().Next(); ok {
+		t.Error("merge of nothing yielded an event")
+	}
+	m := Merge(NewSliceStream(nil), NewSliceStream([]Event{{Start: 1}}), NewSliceStream(nil))
+	got := Drain(m, 0)
+	if len(got) != 1 || got[0].Start != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+type closeSpy struct {
+	SliceStream
+	closed bool
+}
+
+func (c *closeSpy) Close() { c.closed = true }
+
+func TestCloseStreamPropagates(t *testing.T) {
+	spy := &closeSpy{}
+	CloseStream(spy)
+	if !spy.closed {
+		t.Error("Closer not invoked")
+	}
+	// Merge.Close must close remaining inputs.
+	spy2 := &closeSpy{SliceStream: *NewSliceStream([]Event{{Start: 1}, {Start: 2}})}
+	m := Merge(spy2, NewSliceStream([]Event{{Start: 3}}))
+	if _, ok := m.Next(); !ok {
+		t.Fatal("merge empty")
+	}
+	CloseStream(m)
+	if !spy2.closed {
+		t.Error("merge close did not propagate")
+	}
+}

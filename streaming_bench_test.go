@@ -1,0 +1,123 @@
+// Streaming-pipeline benchmarks: sequential versus sharded generation
+// and the streamed serving pass. `make bench` runs these and renders
+// the results as BENCH_streaming.json (ns/op, bytes/op), the repo's
+// perf trajectory for the event-stream core.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gismo"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+
+	"math/rand"
+)
+
+// benchStreamModel is a dense mid-size fixture: a small population
+// (~7k clients, so population setup does not drown the measurement)
+// under a paper-density arrival stream (~100k sessions over 3 days), so
+// the timed work is dominated by what sharding parallelizes — session
+// expansion and the ordered merge.
+func benchStreamModel(b *testing.B) gismo.Model {
+	b.Helper()
+	m, err := gismo.Scaled(100, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.BaseArrivalRate *= 60
+	return m
+}
+
+func benchGenerate(b *testing.B, shards int) {
+	m := benchStreamModel(b)
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		ws, err := gismo.NewStream(m, benchSeed, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for {
+			_, ok := ws.Next()
+			if !ok {
+				break
+			}
+			events++
+		}
+		ws.Close()
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+func BenchmarkStreamingGenerateSequential(b *testing.B) { benchGenerate(b, 1) }
+func BenchmarkStreamingGenerateShards2(b *testing.B)    { benchGenerate(b, 2) }
+func BenchmarkStreamingGenerateShards4(b *testing.B)    { benchGenerate(b, 4) }
+func BenchmarkStreamingGenerateShards8(b *testing.B)    { benchGenerate(b, 8) }
+
+// BenchmarkStreamingGenerateMaterialized is the legacy shape: drain the
+// stream into a request slice (what Generate does), for the memory
+// contrast with the pure streaming pass above.
+func BenchmarkStreamingGenerateMaterialized(b *testing.B) {
+	m := benchStreamModel(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gismo.Generate(m, rand.New(rand.NewSource(benchSeed))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingServe times the full streamed pipeline: sharded
+// generation into the streaming simulator with counting sinks.
+func BenchmarkStreamingServe(b *testing.B) {
+	m := benchStreamModel(b)
+	cfg := simulate.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ws, err := gismo.NewStream(m, benchSeed, gismo.DefaultShards())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(benchSeed))
+		res, err := simulate.RunStream(ws, ws.Population(), m.Horizon, cfg, rng, simulate.StreamSinks{})
+		ws.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Transfers), "transfers")
+		}
+	}
+}
+
+// TestStreamingBenchFixture keeps the bench fixture honest: the stream
+// must be non-trivial and shard-invariant at bench scale.
+func TestStreamingBenchFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench fixture validation")
+	}
+	m, err := gismo.Scaled(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BaseArrivalRate *= 60
+	counts := map[int]int{}
+	for _, shards := range []int{1, 4} {
+		ws, err := gismo.NewStream(m, benchSeed, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[shards] = len(workload.Drain(ws, 0))
+		ws.Close()
+	}
+	if counts[1] < 10_000 {
+		t.Errorf("bench fixture too small: %d events", counts[1])
+	}
+	if counts[1] != counts[4] {
+		t.Errorf("bench fixture not shard-invariant: %v", counts)
+	}
+	fmt.Println("bench fixture events:", counts[1])
+}
