@@ -1,8 +1,9 @@
 # Streaming-pipeline build/test/bench entry points.
 
 GO ?= go
+BIN ?= bin
 
-.PHONY: build test race bench
+.PHONY: build test race bench bench-gate e2e
 
 build:
 	$(GO) build ./...
@@ -24,3 +25,24 @@ bench:
 	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_streaming.json
 	@rm -f bench_streaming.txt
 	@echo "wrote BENCH_streaming.json"
+
+# bench-gate is the CI perf gate: run the benchmarks fresh, write the
+# result to BENCH_fresh.json (uploaded as an artifact), and fail if any
+# benchmark's ns/op regressed more than 25% against the committed
+# BENCH_streaming.json baseline. Three runs per benchmark; the compare
+# gates on each benchmark's best run, damping shared-runner noise.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 3 . > bench_streaming.txt
+	cat bench_streaming.txt
+	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_streaming.json -threshold 0.25 < bench_streaming.txt
+	@rm -f bench_streaming.txt
+
+# e2e exercises the full socket path: build lsmserve and lsmload, start
+# the server, replay a generated workload (with a flash-crowd scenario)
+# over real TCP in compressed time, shut the server down, and verify the
+# served log matches the offered workload exactly.
+e2e:
+	$(GO) build -o $(BIN)/lsmserve ./cmd/lsmserve
+	$(GO) build -o $(BIN)/lsmload ./cmd/lsmload
+	BIN=$(BIN) ./scripts/e2e.sh

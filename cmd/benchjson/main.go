@@ -6,12 +6,25 @@
 //
 // Each parsed line becomes {name, runs, ns_per_op, bytes_per_op,
 // allocs_per_op, metrics{...}}; non-benchmark lines are ignored.
+//
+// With -compare the tool becomes the CI perf gate: fresh bench output
+// on stdin is compared against a committed baseline JSON, and any
+// benchmark whose ns/op regressed by more than -threshold (default
+// 0.25 = 25%) fails the run:
+//
+//	go test -run '^$' -bench 'BenchmarkStreaming' -benchmem . \
+//	    | benchjson -compare BENCH_streaming.json
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate — adding or retiring a benchmark is not a regression.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,17 +49,102 @@ type Report struct {
 }
 
 func main() {
+	var (
+		baseline  = flag.String("compare", "", "baseline JSON to compare against; regressions beyond -threshold fail")
+		threshold = flag.Float64("threshold", 0.25, "allowed fractional ns/op regression in -compare mode")
+	)
+	flag.Parse()
+
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		regressions, compared := compare(&base, report, *threshold, os.Stdout)
+		if compared == 0 {
+			// A gate that measured nothing must not pass: an empty
+			// intersection means the bench run or the baseline broke.
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmark present in both baseline and fresh results")
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n",
+				regressions, *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compare prints a delta table of fresh results against the baseline
+// and returns how many benchmarks regressed beyond threshold and how
+// many were compared at all. Missing and new benchmarks are
+// informational only. Repeated results for one name (`-count N`) are
+// reduced to their minimum ns/op first — best-of-N is the standard
+// noise damper for gating on shared CI hardware, where co-tenancy
+// inflates individual runs far more often than it deflates them.
+func compare(base, fresh *Report, threshold float64, w io.Writer) (regressions, compared int) {
+	baseBy := bestByName(base)
+	freshBy := bestByName(fresh)
+	reported := make(map[string]bool)
+	for _, r := range fresh.Benchmarks {
+		if reported[r.Name] {
+			continue
+		}
+		reported[r.Name] = true
+		f := freshBy[r.Name]
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-45s %14.0f ns/op\n", f.Name, f.NsPerOp)
+			continue
+		}
+		compared++
+		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-5s %-45s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
+			verdict, f.Name, b.NsPerOp, f.NsPerOp, delta*100)
+	}
+	for _, b := range base.Benchmarks {
+		if !reported[b.Name] {
+			reported[b.Name] = true
+			fmt.Fprintf(w, "GONE  %-45s was %14.0f ns/op\n", b.Name, b.NsPerOp)
+		}
+	}
+	return regressions, compared
+}
+
+// bestByName keeps each benchmark's fastest (minimum ns/op) result.
+func bestByName(r *Report) map[string]Result {
+	best := make(map[string]Result, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		if cur, ok := best[b.Name]; !ok || b.NsPerOp < cur.NsPerOp {
+			best[b.Name] = b
+		}
+	}
+	return best
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

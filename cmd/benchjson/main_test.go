@@ -49,3 +49,66 @@ func TestParseIgnoresGarbage(t *testing.T) {
 		t.Errorf("garbage parsed as benchmarks: %+v", report.Benchmarks)
 	}
 }
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}}
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1100}, // +10%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 2600}, // +30%: regression
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	var out strings.Builder
+	got, compared := compare(base, fresh, 0.25, &out)
+	if got != 1 || compared != 2 {
+		t.Fatalf("regressions = %d compared = %d, want 1 and 2\n%s", got, compared, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"REGRESSION", "BenchmarkB", "NEW", "BenchmarkNew", "GONE", "BenchmarkGone"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareImprovementAndExactPass(t *testing.T) {
+	base := &Report{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 1000}}}
+	fresh := &Report{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 700}}}
+	var out strings.Builder
+	if got, _ := compare(base, fresh, 0.25, &out); got != 0 {
+		t.Fatalf("improvement counted as regression:\n%s", out.String())
+	}
+	// Exactly at the threshold is not a regression (strictly beyond).
+	fresh.Benchmarks[0].NsPerOp = 1250
+	if got, _ := compare(base, fresh, 0.25, &out); got != 0 {
+		t.Fatal("threshold boundary counted as regression")
+	}
+}
+
+// TestCompareBestOfNAndEmptyIntersection: repeated -count runs reduce
+// to their fastest before gating, and a gate that compared nothing is
+// reported as such (the caller fails it).
+func TestCompareBestOfNAndEmptyIntersection(t *testing.T) {
+	base := &Report{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 1000}}}
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1400}, // noisy run
+		{Name: "BenchmarkA", NsPerOp: 1050}, // best run: within threshold
+		{Name: "BenchmarkA", NsPerOp: 1300},
+	}}
+	var out strings.Builder
+	got, compared := compare(base, fresh, 0.25, &out)
+	if got != 0 || compared != 1 {
+		t.Fatalf("best-of-N not applied: regressions=%d compared=%d\n%s", got, compared, out.String())
+	}
+	if !strings.Contains(out.String(), "1050") {
+		t.Errorf("table should show the best run:\n%s", out.String())
+	}
+
+	disjoint := &Report{Benchmarks: []Result{{Name: "BenchmarkRenamed", NsPerOp: 10}}}
+	if _, compared := compare(base, disjoint, 0.25, &out); compared != 0 {
+		t.Fatalf("disjoint sets reported %d compared", compared)
+	}
+}

@@ -6,11 +6,20 @@
 // Usage:
 //
 //	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
+//	         [-max-conns 256] [-write-timeout 10s] [-idle-timeout 60s]
 //
-// Connect with the liveserver client package or the livereplay example.
-// The server runs until interrupted (SIGINT or SIGTERM); on shutdown
-// the transfer log is flushed and closed before the process exits, so
-// the last entries are never lost.
+// -max-conns bounds concurrently served connections: a connection
+// beyond the limit is answered with "ERR busy" and closed immediately —
+// live viewers cannot be deferred, so capacity exhaustion is made
+// visible, never a hang. -write-timeout disconnects readers that stop
+// draining their socket; -idle-timeout drops half-open connections that
+// go silent outside a transfer.
+//
+// Connect with the liveserver client package, the livereplay example,
+// or drive it with generated workloads via lsmload. The server runs
+// until interrupted (SIGINT or SIGTERM); on shutdown the transfer log
+// is flushed and closed before the process exits, so the last entries
+// are never lost.
 package main
 
 import (
@@ -29,14 +38,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8555", "listen address")
-		logPath = flag.String("log", "", "optional path for WMS-style transfer log")
-		rate    = flag.Int("rate", 110000, "stream rate in bits/second")
-		maxConn = flag.Int("maxconns", 256, "maximum concurrent connections")
+		addr     = flag.String("addr", "127.0.0.1:8555", "listen address")
+		logPath  = flag.String("log", "", "optional path for WMS-style transfer log")
+		rate     = flag.Int("rate", 110000, "stream rate in bits/second")
+		maxConn  = flag.Int("max-conns", 256, "maximum concurrent connections; extras get 'ERR busy', never a hang")
+		writeTO  = flag.Duration("write-timeout", 10*time.Second, "disconnect a client that stops reading after this long (0 disables)")
+		idleTO   = flag.Duration("idle-timeout", 60*time.Second, "drop connections silent outside a transfer for this long (0 disables)")
+		maxConnO = flag.Int("maxconns", 0, "deprecated alias for -max-conns")
 	)
 	flag.Parse()
+	if *maxConnO != 0 {
+		*maxConn = *maxConnO
+	}
 
-	app, err := newApp(*addr, *logPath, *rate, *maxConn)
+	app, err := newApp(*addr, *logPath, *rate, *maxConn, *writeTO, *idleTO)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
 		os.Exit(1)
@@ -53,11 +68,12 @@ func main() {
 
 // app bundles the server with its transfer log so the shutdown path —
 // stop serving, flush and close the log exactly once — is testable.
+// Connection handlers complete (and log) concurrently; the SyncWriter
+// serializes them.
 type app struct {
 	srv *liveserver.Server
 
-	logMu     sync.Mutex
-	logWriter *wmslog.Writer
+	logWriter *wmslog.SyncWriter
 	logFile   *os.File
 
 	closeOnce sync.Once
@@ -66,9 +82,11 @@ type app struct {
 
 // newApp starts the server, wiring completed transfers into the log
 // sink when logPath is non-empty.
-func newApp(addr, logPath string, rateBps, maxConns int) (*app, error) {
+func newApp(addr, logPath string, rateBps, maxConns int, writeTimeout, idleTimeout time.Duration) (*app, error) {
 	cfg := liveserver.DefaultServerConfig()
 	cfg.MaxConns = maxConns
+	cfg.WriteTimeout = writeTimeout
+	cfg.IdleTimeout = idleTimeout
 	// Pick frame pacing for the requested rate at ~10 frames/second.
 	cfg.FrameInterval = 100 * time.Millisecond
 	cfg.FrameBytes = rateBps / 8 / 10
@@ -83,7 +101,7 @@ func newApp(addr, logPath string, rateBps, maxConns int) (*app, error) {
 			return nil, err
 		}
 		a.logFile = f
-		a.logWriter = wmslog.NewWriter(f)
+		a.logWriter = wmslog.NewSyncWriter(wmslog.NewWriter(f))
 		cfg.Sink = a.logTransfer
 	}
 
@@ -98,26 +116,12 @@ func newApp(addr, logPath string, rateBps, maxConns int) (*app, error) {
 	return a, nil
 }
 
-// logTransfer appends one completed transfer to the log.
+// logTransfer appends one completed transfer to the log. It is only
+// wired as the sink when the log is configured, and the server drains
+// every handler before shutdown closes the file, so the writer is
+// always live here.
 func (a *app) logTransfer(r liveserver.TransferRecord) {
-	entry := &wmslog.Entry{
-		Timestamp:    r.End,
-		ClientIP:     r.RemoteIP,
-		PlayerID:     r.PlayerID,
-		URIStem:      r.URI,
-		Duration:     int64(r.End.Sub(r.Start).Seconds()),
-		Bytes:        r.Bytes,
-		AvgBandwidth: bandwidthOf(r),
-		Status:       200,
-		Country:      "BR",
-		ASNumber:     1,
-	}
-	a.logMu.Lock()
-	defer a.logMu.Unlock()
-	if a.logWriter == nil {
-		return // shut down; transfer raced the close
-	}
-	if err := a.logWriter.Write(entry); err != nil {
+	if err := a.logWriter.Write(liveserver.RecordEntry(r)); err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserve: log:", err)
 	}
 	// Flush per entry: transfer completions are rare enough that
@@ -142,13 +146,12 @@ func (a *app) loop(interrupt <-chan os.Signal, statusEvery time.Duration, w io.W
 }
 
 // shutdown stops the server — which drains the connection handlers, so
-// every completed transfer has reached the sink — then flushes and
-// closes the log. Idempotent; the first error wins.
+// every completed transfer has reached the sink and nothing logs
+// concurrently anymore — then flushes and closes the log. Idempotent;
+// the first error wins.
 func (a *app) shutdown() error {
 	a.closeOnce.Do(func() {
 		a.closeErr = a.srv.Close()
-		a.logMu.Lock()
-		defer a.logMu.Unlock()
 		if a.logFile == nil {
 			return
 		}
@@ -158,16 +161,6 @@ func (a *app) shutdown() error {
 		if err := a.logFile.Close(); err != nil && a.closeErr == nil {
 			a.closeErr = err
 		}
-		a.logWriter = nil
-		a.logFile = nil
 	})
 	return a.closeErr
-}
-
-func bandwidthOf(r liveserver.TransferRecord) int64 {
-	secs := r.End.Sub(r.Start).Seconds()
-	if secs <= 0 {
-		return 0
-	}
-	return int64(float64(r.Bytes*8) / secs)
 }

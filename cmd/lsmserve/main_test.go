@@ -16,7 +16,7 @@ import (
 // file — flushed and closed — after the loop returns.
 func TestShutdownFlushesTransferLog(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "transfers.log")
-	a, err := newApp("127.0.0.1:0", logPath, 110000, 16)
+	a, err := newApp("127.0.0.1:0", logPath, 110000, 16, 10*time.Second, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestShutdownFlushesTransferLog(t *testing.T) {
 
 // TestShutdownWithoutLog covers the no-log configuration.
 func TestShutdownWithoutLog(t *testing.T) {
-	a, err := newApp("127.0.0.1:0", "", 110000, 4)
+	a, err := newApp("127.0.0.1:0", "", 110000, 4, 10*time.Second, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestShutdownWithoutLog(t *testing.T) {
 // viewers cannot be deferred).
 func TestShutdownWithActiveTransfer(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "transfers.log")
-	a, err := newApp("127.0.0.1:0", logPath, 110000, 16)
+	a, err := newApp("127.0.0.1:0", logPath, 110000, 16, 10*time.Second, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

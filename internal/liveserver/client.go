@@ -22,6 +22,10 @@ type TransferResult struct {
 	Duration time.Duration
 	Bytes    int64
 	Frames   int
+	// StartLatency is the time from sending START to receiving the
+	// server's OK START — the request-grant latency a replay harness
+	// tracks as its primary responsiveness signal.
+	StartLatency time.Duration
 }
 
 // Dial connects and performs the HELLO handshake.
@@ -51,6 +55,7 @@ func Dial(addr, playerID string) (*Client, error) {
 // read loop never has to poll.
 func (c *Client) Watch(uri string, duration time.Duration) (TransferResult, error) {
 	res := TransferResult{URI: uri}
+	requested := time.Now()
 	if err := c.send("START " + uri); err != nil {
 		return res, err
 	}
@@ -62,6 +67,7 @@ func (c *Client) Watch(uri string, duration time.Duration) (TransferResult, erro
 	if !strings.HasPrefix(line, "OK START ") {
 		return res, fmt.Errorf("%w: server said %q", ErrProtocol, strings.TrimSpace(line))
 	}
+	res.StartLatency = time.Since(requested)
 
 	begin := time.Now()
 	stop := time.AfterFunc(duration, func() { _ = c.send("STOP") })

@@ -1,0 +1,239 @@
+package liveserver
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readAll reads until deadline or EOF and returns everything received.
+func readAvailable(t *testing.T, conn net.Conn, wait time.Duration) string {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(wait))
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			return string(out)
+		}
+	}
+}
+
+func TestMalformedHelloGetsERR(t *testing.T) {
+	s := startServer(t, fastConfig())
+	for _, line := range []string{"HELLO\n", "HELLO two words\n", "BOGUS x\n", "\n"} {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+		got := readAvailable(t, conn, 2*time.Second)
+		if !strings.HasPrefix(got, "ERR ") {
+			t.Errorf("line %q: server said %q, want ERR with a reason", line, got)
+		}
+		conn.Close()
+	}
+	// The server survives garbage and still serves real clients.
+	c, err := Dial(s.Addr(), "p-after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Watch("/live/feed1", 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedControlLineRejected(t *testing.T) {
+	s := startServer(t, fastConfig())
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	long := "HELLO " + strings.Repeat("x", MaxLineBytes) + "\n"
+	if _, err := conn.Write([]byte(long)); err != nil {
+		t.Fatal(err)
+	}
+	got := readAvailable(t, conn, 2*time.Second)
+	if got != "" && !strings.HasPrefix(got, "ERR ") {
+		t.Errorf("server said %q, want ERR or close", got)
+	}
+}
+
+func TestMidStreamDisconnectReleasesTransfer(t *testing.T) {
+	cfg := fastConfig()
+	s := startServer(t, cfg)
+	c, err := Dial(s.Addr(), "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// START then slam the connection mid-transfer.
+	if _, err := c.conn.Write([]byte("START /live/feed1\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let a few frames flow
+	c.conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.ActiveTransfers() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.ActiveTransfers(); got != 0 {
+		t.Fatalf("active transfers = %d after disconnect", got)
+	}
+	if got := s.ServedTransfers(); got != 0 {
+		t.Errorf("aborted transfer was counted as served (%d)", got)
+	}
+}
+
+func TestSlowReaderDisconnectedByWriteDeadline(t *testing.T) {
+	cfg := fastConfig()
+	cfg.FrameBytes = MaxFrameBytes // fill socket buffers fast
+	cfg.FrameInterval = time.Millisecond
+	cfg.WriteTimeout = 200 * time.Millisecond
+	s := startServer(t, cfg)
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("HELLO slow\nSTART /live/feed1\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Read nothing: the server's sends eventually fill the kernel
+	// buffers and block, and the write deadline must cut the connection
+	// loose instead of pinning the handler.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		tracked := len(s.conns)
+		s.mu.Unlock()
+		if s.ActiveTransfers() == 0 && tracked == 0 {
+			if s.ServedTransfers() != 0 {
+				t.Fatal("aborted transfer counted as served")
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("slow reader still being served after 10s (active=%d)", s.ActiveTransfers())
+}
+
+func TestIdleConnectionTimedOut(t *testing.T) {
+	cfg := fastConfig()
+	cfg.IdleTimeout = 100 * time.Millisecond
+	s := startServer(t, cfg)
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing. The server must drop the half-open connection and
+	// free its slot.
+	start := time.Now()
+	got := readAvailable(t, conn, 5*time.Second)
+	if got != "" {
+		t.Errorf("idle connection received %q", got)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("idle connection held for %v, want ~100ms close", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("idle connection still tracked")
+}
+
+func TestIdleTimeoutDoesNotCutActiveTransfer(t *testing.T) {
+	cfg := fastConfig()
+	cfg.IdleTimeout = 80 * time.Millisecond
+	s := startServer(t, cfg)
+	c, err := Dial(s.Addr(), "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Watch far longer than the idle timeout: the client is silent the
+	// whole time, which is legitimate mid-transfer.
+	res, err := c.Watch("/live/feed1", 400*time.Millisecond)
+	if err != nil {
+		t.Fatalf("transfer cut by idle timeout: %v", err)
+	}
+	if res.Frames == 0 {
+		t.Error("no frames received")
+	}
+	if res.StartLatency <= 0 {
+		t.Error("start latency not measured")
+	}
+}
+
+func TestBusyRefusalIsExplicitAndFast(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MaxConns = 1
+	s := startServer(t, cfg)
+
+	c1, err := Dial(s.Addr(), "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	begin := time.Now()
+	_, err = Dial(s.Addr(), "p2")
+	if err == nil {
+		t.Fatal("second connection accepted beyond MaxConns=1")
+	}
+	if !strings.Contains(err.Error(), "busy") {
+		t.Errorf("refusal error %q does not mention busy", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Errorf("refusal took %v, want immediate", elapsed)
+	}
+	if s.RefusedConns() != 1 {
+		t.Errorf("refused = %d", s.RefusedConns())
+	}
+	if s.AcceptedConns() != 1 {
+		t.Errorf("accepted = %d", s.AcceptedConns())
+	}
+}
+
+func TestRecordEntryRoundsAndValidates(t *testing.T) {
+	now := time.Now()
+	r := TransferRecord{
+		PlayerID: "player-1",
+		RemoteIP: "127.0.0.1",
+		URI:      "/live/feed1",
+		Start:    now,
+		End:      now.Add(1700 * time.Millisecond),
+		Bytes:    4096,
+		Frames:   3,
+	}
+	e := RecordEntry(r)
+	if err := e.Validate(); err != nil {
+		t.Fatalf("entry invalid: %v", err)
+	}
+	if e.Duration != 2 {
+		t.Errorf("duration = %d, want 2 (1.7s rounded)", e.Duration)
+	}
+	if e.AvgBandwidth == 0 {
+		t.Error("bandwidth not computed")
+	}
+}

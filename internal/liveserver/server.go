@@ -2,6 +2,7 @@ package liveserver
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -31,13 +32,26 @@ type ServerConfig struct {
 	// with FrameBytes it sets the stream rate.
 	FrameInterval time.Duration
 	// MaxConns bounds concurrently served connections; further accepts
-	// are closed immediately (the paper's point: live viewers cannot be
-	// deferred, so this is capacity exhaustion made visible).
+	// are answered with "ERR busy" and closed immediately (the paper's
+	// point: live viewers cannot be deferred, so this is capacity
+	// exhaustion made visible, never a hang).
 	MaxConns int
 	// Objects lists the valid live-object URIs.
 	Objects []string
 	// Sink receives a record for every completed transfer. May be nil.
 	Sink func(TransferRecord)
+
+	// WriteTimeout bounds every control and frame write. A client that
+	// stops reading (a stalled player, a dead NAT entry) trips the
+	// deadline and is disconnected instead of pinning a handler and its
+	// connection slot forever. Zero disables the deadline.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the silence the server tolerates while waiting
+	// for the next control command outside a transfer — half-open
+	// connections release their slot instead of holding capacity. It
+	// does not apply mid-transfer, where the client is legitimately
+	// silent until STOP. Zero disables the deadline.
+	IdleTimeout time.Duration
 }
 
 // DefaultServerConfig streams ~110 kbit/s in 1,375-byte frames.
@@ -47,6 +61,8 @@ func DefaultServerConfig() ServerConfig {
 		FrameInterval: 100 * time.Millisecond,
 		MaxConns:      256,
 		Objects:       []string{"/live/feed1", "/live/feed2"},
+		WriteTimeout:  10 * time.Second,
+		IdleTimeout:   60 * time.Second,
 	}
 }
 
@@ -55,13 +71,14 @@ type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
-	active  atomic.Int64 // concurrently streaming transfers
-	served  atomic.Int64 // completed transfers
-	refused atomic.Int64 // connections refused at MaxConns
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	active   atomic.Int64 // concurrently streaming transfers
+	served   atomic.Int64 // completed transfers
+	refused  atomic.Int64 // connections refused at MaxConns
+	accepted atomic.Int64 // connections admitted past MaxConns gating
 
 	payload []byte // shared frame payload
 }
@@ -76,6 +93,9 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.MaxConns < 1 {
 		return nil, fmt.Errorf("%w: max conns %d", ErrProtocol, cfg.MaxConns)
+	}
+	if cfg.WriteTimeout < 0 || cfg.IdleTimeout < 0 {
+		return nil, fmt.Errorf("%w: negative timeout", ErrProtocol)
 	}
 	if len(cfg.Objects) == 0 {
 		return nil, fmt.Errorf("%w: no objects", ErrProtocol)
@@ -110,6 +130,11 @@ func (s *Server) ServedTransfers() int64 { return s.served.Load() }
 // RefusedConns returns the number of connections refused at capacity.
 func (s *Server) RefusedConns() int64 { return s.refused.Load() }
 
+// AcceptedConns returns the number of connections admitted (lifetime
+// total, not currently open) — with RefusedConns, the accept-loop's full
+// accounting, and what lets a replay harness verify connection pooling.
+func (s *Server) AcceptedConns() int64 { return s.accepted.Load() }
+
 // Close stops accepting, closes every connection, and waits for the
 // handler goroutines to drain.
 func (s *Server) Close() error {
@@ -137,9 +162,13 @@ func (s *Server) acceptLoop() {
 		}
 		if !s.track(conn) {
 			s.refused.Add(1)
-			conn.Close()
+			// Refuse visibly and asynchronously: the client gets "ERR
+			// busy" instead of a silent close, and a peer that has
+			// stalled its receive window cannot stall the accept loop.
+			go refuse(conn)
 			continue
 		}
+		s.accepted.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -166,33 +195,80 @@ func (s *Server) untrack(conn net.Conn) {
 	conn.Close()
 }
 
-// handle runs one connection's control state machine. Control commands
-// are read by a dedicated goroutine and forwarded over a channel so the
-// streaming loop can notice STOP between frames.
+// refuse tells a connection beyond MaxConns why it is being dropped.
+// Best effort under a short deadline; the connection closes either way.
+func refuse(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	conn.Write([]byte("ERR busy\n"))
+	conn.Close()
+}
+
+// armIdle applies the idle control-command deadline, disarmIdle clears
+// it for the duration of a transfer (reads blocked in the reader
+// goroutine pick up deadline changes immediately).
+func (s *Server) armIdle(conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
+func (s *Server) disarmIdle(conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// armWrite applies the slow-reader write deadline before a write burst.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// inbound is one control-channel read: a parsed command or the error
+// that ended the read loop.
+type inbound struct {
+	cmd command
+	err error
+}
+
+// handle runs one connection's control state machine. Control lines are
+// read by a dedicated goroutine and forwarded over a channel so the
+// streaming loop can notice STOP between frames; the done channel keeps
+// the reader from leaking when handle returns first (the reader could
+// otherwise block forever on a channel send after handle stopped
+// receiving).
 func (s *Server) handle(conn net.Conn) {
 	reader := bufio.NewReaderSize(conn, 4096)
 	writer := bufio.NewWriterSize(conn, 32*1024)
 
-	cmds := make(chan command)
-	errs := make(chan error, 1)
+	in := make(chan inbound)
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		defer close(cmds)
+		defer close(in)
 		for {
 			line, err := readLine(reader)
+			var msg inbound
 			if err != nil {
-				errs <- err
+				msg = inbound{err: err}
+			} else {
+				cmd, perr := parseCommand(line)
+				msg = inbound{cmd: cmd, err: perr}
+			}
+			select {
+			case in <- msg:
+			case <-done:
 				return
 			}
-			cmd, err := parseCommand(line)
-			if err != nil {
-				errs <- err
+			if msg.err != nil {
 				return
 			}
-			cmds <- cmd
 		}
 	}()
 
 	sendErr := func(reason string) {
+		s.armWrite(conn)
 		fmt.Fprintf(writer, "ERR %s\n", reason)
 		writer.Flush()
 	}
@@ -200,17 +276,27 @@ func (s *Server) handle(conn net.Conn) {
 	var playerID string
 	remoteIP := remoteIPOf(conn)
 	for {
-		cmd, ok := <-cmds
+		s.armIdle(conn)
+		msg, ok := <-in
 		if !ok {
 			return
 		}
-		switch cmd.verb {
+		if msg.err != nil {
+			// Malformed command lines get a reason before the close;
+			// read errors (EOF, idle timeout) just end the connection.
+			if errors.Is(msg.err, ErrProtocol) {
+				sendErr(trimErr(msg.err))
+			}
+			return
+		}
+		switch msg.cmd.verb {
 		case "HELLO":
 			if playerID != "" {
 				sendErr("duplicate HELLO")
 				return
 			}
-			playerID = cmd.arg
+			playerID = msg.cmd.arg
+			s.armWrite(conn)
 			fmt.Fprintf(writer, "OK HELLO\n")
 			if err := writer.Flush(); err != nil {
 				return
@@ -220,17 +306,20 @@ func (s *Server) handle(conn net.Conn) {
 				sendErr("HELLO required before START")
 				return
 			}
-			if !s.validObject(cmd.arg) {
-				sendErr("unknown object " + cmd.arg)
+			if !s.validObject(msg.cmd.arg) {
+				sendErr("unknown object " + msg.cmd.arg)
 				return
 			}
-			if err := s.stream(conn, writer, cmds, playerID, remoteIP, cmd.arg); err != nil {
+			s.disarmIdle(conn)
+			err := s.stream(conn, writer, in, playerID, remoteIP, msg.cmd.arg)
+			if err != nil {
 				return
 			}
 		case "STOP":
 			sendErr("STOP without active transfer")
 			return
 		case "QUIT":
+			s.armWrite(conn)
 			fmt.Fprintf(writer, "OK BYE\n")
 			writer.Flush()
 			return
@@ -238,9 +327,23 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// trimErr renders an error for the wire without the package prefix.
+func trimErr(err error) string {
+	msg := err.Error()
+	if cut, ok := strings.CutPrefix(msg, ErrProtocol.Error()+": "); ok {
+		return cut
+	}
+	return msg
+}
+
 // stream serves one transfer: frames at the configured pace until the
-// client sends STOP (or disconnects).
-func (s *Server) stream(conn net.Conn, writer *bufio.Writer, cmds <-chan command, playerID, remoteIP, uri string) error {
+// client sends STOP (or disconnects). Every write burst runs under the
+// configured write deadline, so a reader that has stopped draining its
+// socket is disconnected after WriteTimeout instead of blocking the
+// handler on a full send buffer; no server lock is ever held across the
+// socket I/O (the only shared state touched here is atomic counters).
+func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, playerID, remoteIP, uri string) error {
+	s.armWrite(conn)
 	fmt.Fprintf(writer, "OK START %s\n", uri)
 	if err := writer.Flush(); err != nil {
 		return err
@@ -255,12 +358,13 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, cmds <-chan command
 	defer ticker.Stop()
 	for {
 		select {
-		case cmd, ok := <-cmds:
-			if !ok {
-				return io.EOF // client went away mid-stream
+		case msg, ok := <-in:
+			if !ok || msg.err != nil {
+				return io.EOF // client went away (or garbled) mid-stream
 			}
-			switch cmd.verb {
+			switch msg.cmd.verb {
 			case "STOP":
+				s.armWrite(conn)
 				fmt.Fprintf(writer, "END %d %d\n", sent, frames)
 				if err := writer.Flush(); err != nil {
 					return err
@@ -271,11 +375,13 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, cmds <-chan command
 			case "QUIT":
 				return io.EOF
 			default:
-				fmt.Fprintf(writer, "ERR %s during transfer\n", cmd.verb)
+				s.armWrite(conn)
+				fmt.Fprintf(writer, "ERR %s during transfer\n", msg.cmd.verb)
 				writer.Flush()
-				return fmt.Errorf("%w: %s during transfer", ErrProtocol, cmd.verb)
+				return fmt.Errorf("%w: %s during transfer", ErrProtocol, msg.cmd.verb)
 			}
 		case <-ticker.C:
+			s.armWrite(conn)
 			fmt.Fprintf(writer, "DATA %d\n", len(s.payload))
 			if _, err := writer.Write(s.payload); err != nil {
 				return err

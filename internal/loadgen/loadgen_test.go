@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/liveserver"
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T, maxConns int, sink func(liveserver.TransferRecord)) *liveserver.Server {
+	t.Helper()
+	cfg := liveserver.DefaultServerConfig()
+	cfg.FrameBytes = 256
+	cfg.FrameInterval = 5 * time.Millisecond
+	cfg.MaxConns = maxConns
+	cfg.Sink = sink
+	s, err := liveserver.Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func fastReplayConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Compression = 100
+	cfg.MinWatch = 20 * time.Millisecond
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Compression = 0 },
+		func(c *Config) { c.MaxConns = 0 },
+		func(c *Config) { c.MinWatch = 0 },
+		func(c *Config) { c.IdleConn = 0 },
+		func(c *Config) { c.MaxTransfers = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestReplaySequentialClientPoolsConnection: one client, several
+// non-overlapping transfers — the pool must reuse a single connection.
+func TestReplaySequentialClientPoolsConnection(t *testing.T) {
+	var mu sync.Mutex
+	var records []liveserver.TransferRecord
+	s := testServer(t, 16, func(r liveserver.TransferRecord) {
+		mu.Lock()
+		records = append(records, r)
+		mu.Unlock()
+	})
+
+	// Client 3: four transfers with clear gaps, never overlapping.
+	events := []workload.Event{
+		{Session: 0, Seq: 0, Client: 3, Object: 0, Start: 0, Duration: 2},
+		{Session: 0, Seq: 1, Client: 3, Object: 1, Start: 10, Duration: 2},
+		{Session: 0, Seq: 2, Client: 3, Object: 0, Start: 20, Duration: 2},
+		{Session: 0, Seq: 3, Client: 3, Object: 1, Start: 30, Duration: 2},
+	}
+	res, err := Replay(s.Addr(), workload.NewSliceStream(events), fastReplayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4 || res.Failed != 0 {
+		t.Fatalf("completed %d failed %d: %s", res.Completed, res.Failed, res)
+	}
+	if res.Conns != 1 {
+		t.Errorf("dialed %d conns for sequential same-client transfers, want 1", res.Conns)
+	}
+	if got := s.AcceptedConns(); got != 1 {
+		t.Errorf("server accepted %d conns, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) != 4 {
+		t.Fatalf("server logged %d transfers", len(records))
+	}
+	for _, r := range records {
+		if r.PlayerID != "player-0000003" {
+			t.Errorf("wrong player: %s", r.PlayerID)
+		}
+	}
+}
+
+// TestReplayOverlappingSameClientUsesOverflow: a client whose transfers
+// overlap in trace time needs parallel connections, not serialization.
+func TestReplayOverlappingSameClientUsesOverflow(t *testing.T) {
+	s := testServer(t, 16, nil)
+	// Two transfers by client 1 overlapping for their whole duration.
+	events := []workload.Event{
+		{Session: 0, Seq: 0, Client: 1, Object: 0, Start: 0, Duration: 60},
+		{Session: 1, Seq: 0, Client: 1, Object: 1, Start: 5, Duration: 60},
+	}
+	cfg := fastReplayConfig()
+	cfg.MinWatch = 100 * time.Millisecond
+	res, err := Replay(s.Addr(), workload.NewSliceStream(events), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed %d: %s", res.Completed, res)
+	}
+	if res.Conns != 2 {
+		t.Errorf("dialed %d conns for overlapping transfers, want 2", res.Conns)
+	}
+	if res.PeakConns != 2 {
+		t.Errorf("peak conns %d, want 2", res.PeakConns)
+	}
+}
+
+// TestReplayBackpressureBoundsConnections: more concurrently active
+// clients than MaxConns — the replay must stay within budget and still
+// complete everything.
+func TestReplayBackpressureBoundsConnections(t *testing.T) {
+	s := testServer(t, 64, nil)
+	var events []workload.Event
+	// 12 distinct clients all active at once; budget of 3 connections.
+	for i := 0; i < 12; i++ {
+		events = append(events, workload.Event{
+			Session: i, Client: i, Object: i % 2, Start: int64(i), Duration: 30,
+		})
+	}
+	cfg := fastReplayConfig()
+	cfg.MaxConns = 3
+	cfg.IdleConn = 50 * time.Millisecond
+	res, err := Replay(s.Addr(), workload.NewSliceStream(events), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 {
+		t.Fatalf("completed %d of 12: %s", res.Completed, res)
+	}
+	if res.PeakConns > 3 {
+		t.Fatalf("peak conns %d exceeds budget 3", res.PeakConns)
+	}
+}
+
+// TestReplayCountsRefusals: a server at capacity refuses visibly and
+// the replay books it as a refusal, not a crash.
+func TestReplayCountsRefusals(t *testing.T) {
+	s := testServer(t, 1, nil)
+	events := []workload.Event{
+		{Session: 0, Client: 0, Object: 0, Start: 0, Duration: 60},
+		{Session: 1, Client: 1, Object: 0, Start: 1, Duration: 60},
+		{Session: 2, Client: 2, Object: 0, Start: 2, Duration: 60},
+	}
+	cfg := fastReplayConfig()
+	cfg.MinWatch = 200 * time.Millisecond
+	res, err := Replay(s.Addr(), workload.NewSliceStream(events), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Refused == 0 {
+		t.Fatalf("expected refusals at MaxConns=1: %s", res)
+	}
+	if res.Completed+res.Failed != res.Attempted {
+		t.Fatalf("accounting leak: %d + %d != %d", res.Completed, res.Failed, res.Attempted)
+	}
+}
+
+func TestReplayMaxTransfersStopsEarlyAndCloses(t *testing.T) {
+	s := testServer(t, 8, nil)
+	src := &countingStream{limitless: true}
+	cfg := fastReplayConfig()
+	cfg.MaxTransfers = 5
+	res, err := Replay(s.Addr(), src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempted != 5 {
+		t.Fatalf("attempted %d, want 5", res.Attempted)
+	}
+	if !src.closed {
+		t.Error("stream not closed after MaxTransfers")
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Compression = -1
+	if _, err := Replay("127.0.0.1:1", workload.NewSliceStream(nil), cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestReplayEmptyStream(t *testing.T) {
+	res, err := Replay("127.0.0.1:1", workload.NewSliceStream(nil), fastReplayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempted != 0 || res.Completed != 0 {
+		t.Fatalf("phantom transfers: %+v", res)
+	}
+}
+
+// countingStream yields an endless sequence of instant events.
+type countingStream struct {
+	n         int
+	limitless bool
+	closed    bool
+}
+
+func (c *countingStream) Next() (workload.Event, bool) {
+	if !c.limitless && c.n >= 3 {
+		return workload.Event{}, false
+	}
+	e := workload.Event{Session: c.n, Client: c.n % 4, Start: int64(c.n), Duration: 1}
+	c.n++
+	return e, true
+}
+
+func (c *countingStream) Close() { c.closed = true }

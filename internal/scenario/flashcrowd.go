@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// FlashSessionBase is the default first session index for injected
+// sessions. Generated workloads number sessions densely from zero, so
+// any base far above the base workload's session count keeps (Session,
+// Seq) pairs unique. Chained injections must use disjoint bases (see
+// FlashCrowd.SessionBase).
+const FlashSessionBase = 1 << 31
+
+// FlashCrowd parameterizes a flash-crowd injection: Sessions extra
+// sessions arriving inside [At, At+Duration), on top of whatever the
+// base stream carries — the "sudden event draws a crowd" scenario the
+// paper's reality show lived on (prize nights, evictions). Setting the
+// window to the whole horizon turns it into population up-scaling.
+type FlashCrowd struct {
+	At       int64 // window start, trace seconds
+	Duration int64 // window length, trace seconds
+	Sessions int   // sessions injected into the window
+	Clients  int   // population size the crowd is drawn from
+	Objects  int   // live objects the crowd requests
+	Horizon  int64 // trace horizon; transfers are truncated to it
+
+	// MeanTransfers is the mean transfers per injected session (1 plus
+	// an exponential tail). Zero means 1.5.
+	MeanTransfers float64
+	// GapMu/GapSigma and LengthMu/LengthSigma are the lognormal laws for
+	// intra-session gaps and transfer lengths. Zero values default to
+	// the paper's Table 2 fits (gap μ 4.900 σ 1.321, length μ 4.384
+	// σ 1.427).
+	GapMu, GapSigma       float64
+	LengthMu, LengthSigma float64
+
+	// SessionBase overrides the first injected session index (0 means
+	// FlashSessionBase). Chained FlashCrowd transforms must use bases
+	// at least 1<<24 apart so injected session indices never collide.
+	SessionBase int
+}
+
+func (fc *FlashCrowd) withDefaults() FlashCrowd {
+	c := *fc
+	if c.MeanTransfers == 0 {
+		c.MeanTransfers = 1.5
+	}
+	if c.GapMu == 0 && c.GapSigma == 0 {
+		c.GapMu, c.GapSigma = 4.89991, 1.32074
+	}
+	if c.LengthMu == 0 && c.LengthSigma == 0 {
+		c.LengthMu, c.LengthSigma = 4.383921, 1.427247
+	}
+	if c.SessionBase == 0 {
+		c.SessionBase = FlashSessionBase
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting).
+func (fc *FlashCrowd) Validate() error {
+	if fc.At < 0 || fc.Duration <= 0 {
+		return fmt.Errorf("%w: flash window [%d, +%d)", ErrBadScenario, fc.At, fc.Duration)
+	}
+	if fc.Sessions < 1 {
+		return fmt.Errorf("%w: %d flash sessions", ErrBadScenario, fc.Sessions)
+	}
+	if fc.Clients < 1 {
+		return fmt.Errorf("%w: flash population %d", ErrBadScenario, fc.Clients)
+	}
+	if fc.Objects < 1 {
+		return fmt.Errorf("%w: %d flash objects", ErrBadScenario, fc.Objects)
+	}
+	if fc.Horizon <= fc.At {
+		return fmt.Errorf("%w: horizon %d before flash window start %d", ErrBadScenario, fc.Horizon, fc.At)
+	}
+	if fc.MeanTransfers < 1 {
+		return fmt.Errorf("%w: mean transfers per flash session %v < 1", ErrBadScenario, fc.MeanTransfers)
+	}
+	if fc.SessionBase < 1<<20 {
+		return fmt.Errorf("%w: session base %d too low (would collide with generated sessions)", ErrBadScenario, fc.SessionBase)
+	}
+	return nil
+}
+
+// Inject builds the flash-crowd transform: the injected sessions are
+// materialized up front (memory is O(injected events), which a flash
+// window bounds by construction) and merged with the base stream, so
+// the combined stream keeps the total order at O(1) merge cost.
+func (fc FlashCrowd) Inject(seed int64) (Transform, error) {
+	cfg := fc.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	events, err := cfg.events(seed)
+	if err != nil {
+		return nil, err
+	}
+	return func(s workload.Stream) workload.Stream {
+		return workload.Merge(s, workload.NewSliceStream(events))
+	}, nil
+}
+
+// events draws the injected sessions from a dedicated splitmix-seeded
+// RNG: arrival instants uniform over the window (sorted, so injected
+// session indices follow arrival order like the generator's), then a
+// transfer count (1 plus an exponential tail) and lognormal gap/length
+// draws per session.
+func (fc *FlashCrowd) events(seed int64) ([]workload.Event, error) {
+	gap, err := dist.NewLognormal(fc.GapMu, fc.GapSigma)
+	if err != nil {
+		return nil, err
+	}
+	length, err := dist.NewLognormal(fc.LengthMu, fc.LengthSigma)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), uint64(fc.SessionBase))))
+
+	arrivals := make([]int64, fc.Sessions)
+	for i := range arrivals {
+		arrivals[i] = fc.At + rng.Int63n(fc.Duration)
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	events := make([]workload.Event, 0, fc.Sessions*2)
+	for i, at := range arrivals {
+		n := 1
+		if fc.MeanTransfers > 1 {
+			n = 1 + int(rng.ExpFloat64()*(fc.MeanTransfers-1))
+		}
+		t := at
+		session := fc.SessionBase + i
+		for k := 0; k < n; k++ {
+			if k > 0 {
+				t += int64(gap.Sample(rng))
+			}
+			if t >= fc.Horizon {
+				break
+			}
+			d := int64(length.Sample(rng))
+			if d < 1 {
+				d = 1
+			}
+			if t+d > fc.Horizon {
+				d = fc.Horizon - t
+				if d < 1 {
+					break
+				}
+			}
+			events = append(events, workload.Event{
+				Session:  session,
+				Seq:      k,
+				Client:   rng.Intn(fc.Clients),
+				Object:   rng.Intn(fc.Objects),
+				Start:    t,
+				Duration: d,
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Less(events[j]) })
+	return events, nil
+}

@@ -1,0 +1,139 @@
+// Package scenario provides composable workload transforms: functions
+// from one workload.Stream to another that reshape the generated
+// workload without breaking its (Start, Session, Seq) total order.
+//
+// The generator (internal/gismo) reproduces the workload the paper
+// measured; the transforms here open the "as many scenarios as you can
+// imagine" axis on top of it — flash-crowd spikes, client churn,
+// diurnal reshaping, population scaling — while staying streaming
+// (O(active) state) and deterministic: a transform's output is a pure
+// function of its input stream and its seed, so replays and A/B
+// experiments are reproducible.
+//
+// Transforms compose with Chain and preserve the Stream contract:
+// output events are in strict (Start, Session, Seq) order, (Session,
+// Seq) pairs are unique, and Close propagates to the source.
+package scenario
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// ErrBadScenario reports an invalid transform parameterization.
+var ErrBadScenario = errors.New("scenario: bad configuration")
+
+// Transform maps one event stream to another. Implementations must
+// preserve the stream total order and propagate Close to the source.
+type Transform func(workload.Stream) workload.Stream
+
+// Chain composes transforms left to right: Chain(a, b)(s) == b(a(s)).
+func Chain(ts ...Transform) Transform {
+	return func(s workload.Stream) workload.Stream {
+		for _, t := range ts {
+			s = t(s)
+		}
+		return s
+	}
+}
+
+// Seed-derivation lanes for the per-session uniform draws, mirroring
+// the generator's splitmix lane scheme (internal/gismo): every decision
+// is keyed to (seed, lane, session index), so transforms are
+// deterministic and independent of each other for the same seed.
+const (
+	laneThin  uint64 = 101
+	laneChurn uint64 = 102
+	laneTail  uint64 = 103
+)
+
+// sessionUniform returns a uniform [0,1) variate keyed to (seed, lane,
+// session). Pure and O(1) — no sequential RNG to replay, so filtering
+// transforms hold no per-session state.
+func sessionUniform(seed int64, lane uint64, session int) float64 {
+	return float64(dist.Mix64(dist.Mix64(uint64(seed), lane), uint64(session))>>11) / (1 << 53)
+}
+
+// filterStream drops events for which keep returns false. Dropping
+// events can never break the total order.
+type filterStream struct {
+	inner workload.Stream
+	keep  func(workload.Event) bool
+}
+
+func (f *filterStream) Next() (workload.Event, bool) {
+	for {
+		e, ok := f.inner.Next()
+		if !ok {
+			return workload.Event{}, false
+		}
+		if f.keep(e) {
+			return e, true
+		}
+	}
+}
+
+func (f *filterStream) Close() { workload.CloseStream(f.inner) }
+
+// Thin keeps each session independently with probability p — population
+// down-scaling that preserves the per-session structure exactly (a kept
+// session keeps all its transfers). The decision is keyed to (seed,
+// session), so thinning commutes with any transform that does not
+// renumber sessions.
+func Thin(p float64, seed int64) (Transform, error) {
+	if p <= 0 || p > 1 {
+		return nil, errors.Join(ErrBadScenario, errors.New("thin probability must be in (0,1]"))
+	}
+	return func(s workload.Stream) workload.Stream {
+		return &filterStream{inner: s, keep: func(e workload.Event) bool {
+			return sessionUniform(seed, laneThin, e.Session) < p
+		}}
+	}, nil
+}
+
+// Churn makes a fraction of viewers leave early: with probability frac a
+// session is truncated after a geometrically distributed number of
+// transfers with the given mean (at least one transfer always
+// survives). Truncation drops a Seq suffix, so ordering and the
+// remaining events are untouched — the streaming analogue of the
+// paper's short-session observation under interrupted viewing.
+func Churn(frac, meanKeep float64, seed int64) (Transform, error) {
+	if frac < 0 || frac > 1 {
+		return nil, errors.Join(ErrBadScenario, errors.New("churn fraction must be in [0,1]"))
+	}
+	if meanKeep < 1 {
+		return nil, errors.Join(ErrBadScenario, errors.New("churn mean kept transfers must be >= 1"))
+	}
+	return func(s workload.Stream) workload.Stream {
+		return &filterStream{inner: s, keep: func(e workload.Event) bool {
+			if sessionUniform(seed, laneChurn, e.Session) >= frac {
+				return true
+			}
+			return e.Seq < churnCap(seed, e.Session, meanKeep)
+		}}
+	}, nil
+}
+
+// churnCap is the number of transfers a churned session keeps: 1 plus a
+// geometric tail with the configured mean, inverted from the session's
+// tail variate.
+func churnCap(seed int64, session int, meanKeep float64) int {
+	u := sessionUniform(seed, laneTail, session)
+	if meanKeep <= 1 {
+		return 1
+	}
+	// Geometric tail with success probability q = 1/mean, inverted:
+	// floor(ln u / ln(1-q)) extra transfers beyond the first.
+	q := 1 / meanKeep
+	if u <= 0 {
+		return 1
+	}
+	tail := int(math.Log(u) / math.Log(1-q))
+	if tail < 0 {
+		tail = 0
+	}
+	return 1 + tail
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -67,6 +68,43 @@ func (lw *Writer) Count() int64 { return lw.count }
 
 // Flush flushes buffered data to the underlying writer.
 func (lw *Writer) Flush() error { return lw.w.Flush() }
+
+// SyncWriter makes a Writer safe for concurrent use — the form a live
+// server's completion sink needs, where connection handlers finish (and
+// log) concurrently. Each Write is atomic: entries never interleave
+// within a line, though their order across writers is whatever the
+// scheduler produced (entry timestamps, not file order, carry time).
+type SyncWriter struct {
+	mu sync.Mutex
+	w  *Writer
+}
+
+// NewSyncWriter wraps w. The underlying Writer must no longer be used
+// directly.
+func NewSyncWriter(w *Writer) *SyncWriter {
+	return &SyncWriter{w: w}
+}
+
+// Write validates and appends one entry.
+func (sw *SyncWriter) Write(e *Entry) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(e)
+}
+
+// Flush flushes buffered data to the underlying writer.
+func (sw *SyncWriter) Flush() error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Flush()
+}
+
+// Count returns the number of entries written.
+func (sw *SyncWriter) Count() int64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Count()
+}
 
 // DailyWriter splits entries across one log file per calendar day,
 // mirroring the paper's midnight log harvests ("Logs were harvested daily

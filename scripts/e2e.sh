@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the closed loop: lsmserve serves over real TCP,
+# lsmload replays a generated ~100-client workload with a flash-crowd
+# scenario at compressed virtual time, and the served WMS log is parsed
+# back and compared against the offered workload — exact session and
+# transfer counts or the script fails.
+set -euo pipefail
+
+BIN=${BIN:-bin}
+PORT=${PORT:-18555}
+DIR=$(mktemp -d)
+trap 'kill "$SRV" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+"$BIN"/lsmserve -addr "127.0.0.1:$PORT" -log "$DIR/transfers.log" \
+    -max-conns 600 -write-timeout 15s > "$DIR/server.out" 2>&1 &
+SRV=$!
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    sleep 0.1
+done
+
+# ~100 clients (paper population / 6919), 1 trace hour in ~6 wall
+# seconds, plus 100 flash-crowd sessions in a 10-minute window.
+"$BIN"/lsmload -addr "127.0.0.1:$PORT" \
+    -scale 6919 -hours 1 -no-ramp -rate 0.03 -seed 7 \
+    -flash 300:600:100 \
+    -compression 600 -conns 200 -meta "$DIR/meta.json"
+
+# Flush the transfer log via graceful shutdown before validating.
+kill -INT "$SRV"
+wait "$SRV" || true
+
+"$BIN"/lsmload -check "$DIR/meta.json" -logs "$DIR/transfers.log"
+echo "e2e smoke: PASS"
