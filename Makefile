@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race bench bench-gate e2e
+.PHONY: build test race bench bench-gate e2e profile
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,19 @@ e2e:
 	$(GO) build -o $(BIN)/lsmserve ./cmd/lsmserve
 	$(GO) build -o $(BIN)/lsmload ./cmd/lsmload
 	BIN=$(BIN) ./scripts/e2e.sh
+
+# profile captures pprof/trace artifacts from a representative
+# streaming run (the generate → simulate → log pipeline at bench-like
+# density) under profiles/. Inspect with `go tool pprof
+# profiles/cpu.pprof` / `go tool trace profiles/trace.out`; CI uploads
+# the directory on demand (workflow_dispatch with profile=true).
+PROFILE_ARGS ?= -stream -scale 5 -days 7 -seed 1
+profile:
+	$(GO) build -o $(BIN)/lsmgen ./cmd/lsmgen
+	mkdir -p profiles
+	rm -rf profiles/logs
+	$(BIN)/lsmgen -out profiles/logs $(PROFILE_ARGS) \
+		-cpuprofile profiles/cpu.pprof \
+		-memprofile profiles/mem.pprof \
+		-trace profiles/trace.out
+	@ls -l profiles/

@@ -75,7 +75,7 @@ func getFixture(b *testing.B) *benchFixture {
 			fixtureErr = err
 			return
 		}
-		res, err := simulate.Run(w, cfg.Server, rng)
+		res, err := simulate.Run(w, cfg.Server, rng.Uint64())
 		if err != nil {
 			fixtureErr = err
 			return
@@ -528,7 +528,7 @@ func BenchmarkPipelineSimulate(b *testing.B) {
 	cfg := simulate.DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := simulate.Run(w, cfg, rand.New(rand.NewSource(int64(i)))); err != nil {
+		if _, err := simulate.Run(w, cfg, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

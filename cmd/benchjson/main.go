@@ -9,14 +9,19 @@
 //
 // With -compare the tool becomes the CI perf gate: fresh bench output
 // on stdin is compared against a committed baseline JSON, and any
-// benchmark whose ns/op regressed by more than -threshold (default
-// 0.25 = 25%) fails the run:
+// benchmark whose ns/op, bytes/op or allocs/op regressed by more than
+// -threshold (default 0.25 = 25%) fails the run, with a failure line
+// naming the metric:
 //
 //	go test -run '^$' -bench 'BenchmarkStreaming' -benchmem . \
 //	    | benchjson -compare BENCH_streaming.json
 //
 // Benchmarks present on only one side are reported but never fail the
-// gate — adding or retiring a benchmark is not a regression.
+// gate — adding or retiring a benchmark is not a regression. A
+// zero-valued baseline metric (a genuinely alloc-free benchmark, or a
+// legacy baseline recorded without -benchmem) gates on any growth:
+// regressing from 0 allocs/op is precisely the zero-alloc property
+// the gate exists to defend.
 package main
 
 import (
@@ -80,7 +85,7 @@ func main() {
 			os.Exit(1)
 		}
 		if regressions > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n",
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric regression(s) beyond %.0f%%\n",
 				regressions, *threshold*100)
 			os.Exit(1)
 		}
@@ -95,13 +100,30 @@ func main() {
 	}
 }
 
+// gatedMetric is one of the per-benchmark metrics the gate checks.
+type gatedMetric struct {
+	unit string
+	get  func(Result) float64
+}
+
+// gatedMetrics are gated independently: a run that holds ns/op steady
+// while tripling its allocations is a regression the old ns/op-only
+// gate waved through.
+var gatedMetrics = []gatedMetric{
+	{"ns/op", func(r Result) float64 { return r.NsPerOp }},
+	{"B/op", func(r Result) float64 { return r.BytesPerOp }},
+	{"allocs/op", func(r Result) float64 { return r.AllocsPerOp }},
+}
+
 // compare prints a delta table of fresh results against the baseline
-// and returns how many benchmarks regressed beyond threshold and how
-// many were compared at all. Missing and new benchmarks are
-// informational only. Repeated results for one name (`-count N`) are
-// reduced to their minimum ns/op first — best-of-N is the standard
-// noise damper for gating on shared CI hardware, where co-tenancy
-// inflates individual runs far more often than it deflates them.
+// and returns how many metric regressions exceeded the threshold and
+// how many benchmarks were compared at all. Each gated metric is
+// checked independently with its own failure line. Missing and new
+// benchmarks are informational only. Repeated results for one name
+// (`-count N`) are reduced to their per-metric minimum first —
+// best-of-N is the standard noise damper for gating on shared CI
+// hardware, where co-tenancy inflates individual runs far more often
+// than it deflates them.
 func compare(base, fresh *Report, threshold float64, w io.Writer) (regressions, compared int) {
 	baseBy := bestByName(base)
 	freshBy := bestByName(fresh)
@@ -118,14 +140,32 @@ func compare(base, fresh *Report, threshold float64, w io.Writer) (regressions, 
 			continue
 		}
 		compared++
-		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp
-		verdict := "ok"
-		if delta > threshold {
-			verdict = "REGRESSION"
-			regressions++
+		for _, m := range gatedMetrics {
+			bv, fv := m.get(b), m.get(f)
+			if bv == 0 {
+				// A zero baseline (a genuinely alloc-free benchmark, or
+				// a legacy baseline that never recorded the metric —
+				// the JSON cannot distinguish them) still gates: any
+				// growth from zero is a regression. This is what keeps
+				// the 0 allocs/op benchmarks honest; a legacy ns-only
+				// baseline fails once, loudly, and is fixed by
+				// refreshing it with `make bench`.
+				if fv > 0 {
+					fmt.Fprintf(w, "%-5s %-45s %14.0f -> %14.0f %-9s (grew from zero baseline)\n",
+						"REGRESSION", f.Name, bv, fv, m.unit)
+					regressions++
+				}
+				continue
+			}
+			delta := (fv - bv) / bv
+			verdict := "ok"
+			if delta > threshold {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-5s %-45s %14.0f -> %14.0f %-9s (%+.1f%%)\n",
+				verdict, f.Name, bv, fv, m.unit, delta*100)
 		}
-		fmt.Fprintf(w, "%-5s %-45s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
-			verdict, f.Name, b.NsPerOp, f.NsPerOp, delta*100)
 	}
 	for _, b := range base.Benchmarks {
 		if !reported[b.Name] {
@@ -136,13 +176,26 @@ func compare(base, fresh *Report, threshold float64, w io.Writer) (regressions, 
 	return regressions, compared
 }
 
-// bestByName keeps each benchmark's fastest (minimum ns/op) result.
+// bestByName reduces each benchmark's repeated results to per-metric
+// minima (ns/op, B/op, allocs/op are each taken at their best run).
 func bestByName(r *Report) map[string]Result {
 	best := make(map[string]Result, len(r.Benchmarks))
 	for _, b := range r.Benchmarks {
-		if cur, ok := best[b.Name]; !ok || b.NsPerOp < cur.NsPerOp {
+		cur, ok := best[b.Name]
+		if !ok {
 			best[b.Name] = b
+			continue
 		}
+		if b.NsPerOp < cur.NsPerOp {
+			cur.NsPerOp = b.NsPerOp
+		}
+		if b.BytesPerOp < cur.BytesPerOp {
+			cur.BytesPerOp = b.BytesPerOp
+		}
+		if b.AllocsPerOp < cur.AllocsPerOp {
+			cur.AllocsPerOp = b.AllocsPerOp
+		}
+		best[b.Name] = cur
 	}
 	return best
 }

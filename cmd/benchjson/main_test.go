@@ -88,6 +88,63 @@ func TestCompareImprovementAndExactPass(t *testing.T) {
 	}
 }
 
+// TestCompareGatesAllocsAndBytes: allocs/op and bytes/op regressions
+// fail the gate independently of ns/op, each with its own metric-named
+// line; a zero-valued baseline metric gates on any growth at all.
+func TestCompareGatesAllocsAndBytes(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 100},
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 500}, // allocs 0 → omitted from JSON
+	}}
+	fresh := &Report{Benchmarks: []Result{
+		// ns/op fine, allocs +100%, bytes +50%: two regressions.
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 3 << 19, AllocsPerOp: 200},
+		// Growing from a zero baseline is a regression for each grown
+		// metric — the zero-alloc property must not rot silently.
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 510, BytesPerOp: 96, AllocsPerOp: 3},
+	}}
+	var out strings.Builder
+	got, compared := compare(base, fresh, 0.25, &out)
+	if got != 4 || compared != 2 {
+		t.Fatalf("regressions = %d compared = %d, want 4 and 2\n%s", got, compared, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"allocs/op", "B/op"} {
+		if !strings.Contains(report, "REGRESSION BenchmarkA") ||
+			!strings.Contains(report, want) {
+			t.Errorf("report missing per-metric failure for %q:\n%s", want, report)
+		}
+	}
+	if !strings.Contains(report, "REGRESSION BenchmarkZeroAlloc") ||
+		!strings.Contains(report, "grew from zero baseline") {
+		t.Errorf("zero-baseline growth not gated:\n%s", report)
+	}
+
+	// A fresh run that stays at zero passes.
+	steady := &Report{Benchmarks: []Result{{Name: "BenchmarkZeroAlloc", NsPerOp: 505}}}
+	out.Reset()
+	if got, _ := compare(base, steady, 0.25, &out); got != 0 {
+		t.Fatalf("steady zero-alloc benchmark flagged:\n%s", out.String())
+	}
+}
+
+// TestCompareBestOfNPerMetric: the -count N reduction takes each
+// metric's own minimum, so one noisy run cannot poison another
+// metric's best.
+func TestCompareBestOfNPerMetric(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1050, AllocsPerOp: 500}, // fast but alloc-noisy
+		{Name: "BenchmarkA", NsPerOp: 1400, AllocsPerOp: 100}, // slow but alloc-clean
+	}}
+	var out strings.Builder
+	if got, _ := compare(base, fresh, 0.25, &out); got != 0 {
+		t.Fatalf("per-metric best-of-N not applied:\n%s", out.String())
+	}
+}
+
 // TestCompareBestOfNAndEmptyIntersection: repeated -count runs reduce
 // to their fastest before gating, and a gate that compared nothing is
 // reported as such (the caller fails it).

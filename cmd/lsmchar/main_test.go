@@ -22,7 +22,7 @@ func writeTestLogs(t *testing.T) (dir string, days int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := simulate.Run(w, simulate.DefaultConfig(), rng)
+	res, err := simulate.Run(w, simulate.DefaultConfig(), rng.Uint64())
 	if err != nil {
 		t.Fatal(err)
 	}

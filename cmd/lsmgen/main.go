@@ -5,15 +5,20 @@
 // Usage:
 //
 //	lsmgen -out logs/ [-scale 150] [-days 7] [-seed 1] [-model model.json]
-//	       [-stream] [-shards N]
+//	       [-stream] [-shards N] [-lanes N]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // With -stream the pipeline runs in streaming mode: the sharded
-// generator feeds the simulator event by event and log entries go
-// straight to the daily files, so memory stays O(active sessions)
+// generator feeds the sharded simulator event by event and log entries
+// go straight to the daily files, so memory stays O(active sessions)
 // instead of O(total requests) — the mode for paper-scale (-scale 1)
-// runs. -shards sets the generator shard count (0 = one per CPU). The
-// emitted logs are byte-identical between the streaming and the
-// materializing path for the same seed, at any shard count.
+// runs. -shards sets the generator shard count and -lanes the serve
+// worker count (0 = one per CPU each). The emitted logs are
+// byte-identical between the streaming and the materializing path for
+// the same seed, at any shard or lane count.
+//
+// The profiling flags (internal/prof) capture the run as pprof/trace
+// artifacts; `make profile` is the canonical profiling invocation.
 //
 // The generated logs can then be characterized with lsmchar. With
 // -model the full model parameterization is also written as JSON so the
@@ -28,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/gismo"
+	"repro/internal/prof"
 	"repro/internal/simulate"
 	"repro/internal/wmslog"
 )
@@ -42,10 +48,12 @@ type options struct {
 	loadPath  string
 	stream    bool
 	shards    int
+	lanes     int
 }
 
 func main() {
 	var o options
+	var profiles prof.Profiles
 	flag.StringVar(&o.out, "out", "", "directory for daily log files (required)")
 	flag.Float64Var(&o.scale, "scale", 150, "population/rate scale-down factor (1 = paper scale)")
 	flag.IntVar(&o.days, "days", 7, "trace length in days")
@@ -54,13 +62,23 @@ func main() {
 	flag.StringVar(&o.loadPath, "load", "", "optional model JSON to load instead of -scale/-days")
 	flag.BoolVar(&o.stream, "stream", false, "streaming mode: O(active sessions) memory, logs written as served")
 	flag.IntVar(&o.shards, "shards", 0, "generator shards in streaming mode (0 = one per CPU)")
+	flag.IntVar(&o.lanes, "lanes", 0, "serve worker lanes in streaming mode (0 = one per CPU)")
+	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if o.out == "" {
 		fmt.Fprintln(os.Stderr, "lsmgen: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(o); err != nil {
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmgen:", err)
+		os.Exit(1)
+	}
+	err := run(o)
+	if perr := profiles.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmgen:", err)
 		os.Exit(1)
 	}
@@ -124,7 +142,7 @@ func runMaterialized(o options, model gismo.Model) error {
 	}
 	fmt.Println(w)
 
-	res, err := simulate.Run(w, simulate.DefaultConfig(), rng)
+	res, err := simulate.Run(w, simulate.DefaultConfig(), uint64(o.seed))
 	if err != nil {
 		return err
 	}
@@ -138,13 +156,18 @@ func runMaterialized(o options, model gismo.Model) error {
 	return nil
 }
 
-// runStreaming pipes the sharded generator straight into the simulator
-// and the simulator straight into the daily log writer: no workload,
-// trace or entry slice is ever materialized.
+// runStreaming pipes the sharded generator straight into the sharded
+// simulator and the simulator straight into the daily log writer: no
+// workload, trace or entry slice is ever materialized, and both the
+// session expansion and the server-model draws run across CPUs.
 func runStreaming(o options, model gismo.Model) error {
 	shards := o.shards
 	if shards == 0 {
 		shards = gismo.DefaultShards()
+	}
+	lanes := o.lanes
+	if lanes == 0 {
+		lanes = gismo.DefaultShards()
 	}
 	rng := rand.New(rand.NewSource(o.seed))
 	ws, err := gismo.NewStream(model, rng.Int63(), shards)
@@ -152,14 +175,14 @@ func runStreaming(o options, model gismo.Model) error {
 		return err
 	}
 	defer ws.Close()
-	fmt.Printf("streaming: %d clients, %d-day horizon, seed %d, %d shards\n",
-		model.NumClients, model.Horizon/86400, o.seed, shards)
+	fmt.Printf("streaming: %d clients, %d-day horizon, seed %d, %d shards, %d serve lanes\n",
+		model.NumClients, model.Horizon/86400, o.seed, shards, lanes)
 
 	dw, err := wmslog.NewDailyWriter(o.out)
 	if err != nil {
 		return err
 	}
-	res, err := simulate.RunStream(ws, ws.Population(), model.Horizon, simulate.DefaultConfig(), rng, simulate.StreamSinks{
+	res, err := simulate.RunStreamSharded(ws, ws.Population(), model.Horizon, simulate.DefaultConfig(), uint64(o.seed), lanes, simulate.StreamSinks{
 		Entry: dw.Write,
 	})
 	if err != nil {

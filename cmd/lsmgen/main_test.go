@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -106,9 +107,9 @@ func logBytes(t *testing.T, dir string) map[string][]byte {
 }
 
 // TestStreamingLogsByteIdentical is the CLI-level acceptance check:
-// the streaming path (-stream -shards N) must write byte-identical
-// daily logs to the materializing path for the same seed, for any
-// shard count.
+// the streaming path (-stream -shards N -lanes K) must write
+// byte-identical daily logs to the materializing path for the same
+// seed, for any generator shard count and any serve lane count.
 func TestStreamingLogsByteIdentical(t *testing.T) {
 	dir := t.TempDir()
 	legacyDir := filepath.Join(dir, "legacy")
@@ -120,22 +121,22 @@ func TestStreamingLogsByteIdentical(t *testing.T) {
 		t.Fatal("no legacy logs")
 	}
 
-	for _, shards := range []int{1, 3} {
-		streamDir := filepath.Join(dir, "stream", string(rune('a'+shards)))
-		if err := run(options{out: streamDir, scale: 500, days: 2, seed: 11, stream: true, shards: shards}); err != nil {
+	for _, c := range []struct{ shards, lanes int }{{1, 1}, {3, 1}, {1, 4}, {3, 8}} {
+		streamDir := filepath.Join(dir, "stream", fmt.Sprintf("s%dl%d", c.shards, c.lanes))
+		if err := run(options{out: streamDir, scale: 500, days: 2, seed: 11, stream: true, shards: c.shards, lanes: c.lanes}); err != nil {
 			t.Fatal(err)
 		}
 		streamed := logBytes(t, streamDir)
 		if len(streamed) != len(legacy) {
-			t.Fatalf("shards=%d: %d files vs %d", shards, len(streamed), len(legacy))
+			t.Fatalf("shards=%d lanes=%d: %d files vs %d", c.shards, c.lanes, len(streamed), len(legacy))
 		}
 		for name, want := range legacy {
 			got, ok := streamed[name]
 			if !ok {
-				t.Fatalf("shards=%d: missing file %s", shards, name)
+				t.Fatalf("shards=%d lanes=%d: missing file %s", c.shards, c.lanes, name)
 			}
 			if !bytes.Equal(got, want) {
-				t.Fatalf("shards=%d: %s differs from the materializing path", shards, name)
+				t.Fatalf("shards=%d lanes=%d: %s differs from the materializing path", c.shards, c.lanes, name)
 			}
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/gismo"
 	"repro/internal/loadgen"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/wmslog"
@@ -68,9 +69,31 @@ func main() {
 		minWatch    = flag.Duration("min-watch", 40*time.Millisecond, "floor on per-transfer wall watch time")
 		idleConn    = flag.Duration("idle-conn", 2*time.Second, "idle pooled connection retirement age")
 		timeout     = flag.Int64("timeout", 0, "session timeout for -check (0 = widest-void auto pick)")
+
+		profiles prof.Profiles
 	)
 	flag.Var(&flash, "flash", "inject a flash crowd as at:dur:sessions (trace seconds); repeatable")
+	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Resolve the mode before starting any profile, so a usage error
+	// never exits with an unflushed (truncated) cpu/trace artifact.
+	switch {
+	case *check != "":
+		if *logs == "" {
+			fmt.Fprintln(os.Stderr, "lsmload: -check requires -logs")
+			os.Exit(2)
+		}
+	case *addr != "":
+	default:
+		fmt.Fprintln(os.Stderr, "lsmload: either -addr (replay) or -check (validate) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmload:", err)
+		os.Exit(1)
+	}
 
 	sp := spec{
 		Scale: *scale, Days: *days, Hours: *hours, Seed: *seed, Shards: *shards,
@@ -79,19 +102,13 @@ func main() {
 	}
 
 	var err error
-	switch {
-	case *check != "":
-		if *logs == "" {
-			fmt.Fprintln(os.Stderr, "lsmload: -check requires -logs")
-			os.Exit(2)
-		}
+	if *check != "" {
 		err = runCheck(*check, *logs, *timeout, os.Stdout)
-	case *addr != "":
+	} else {
 		err = runReplay(*addr, sp, *compression, *conns, *minWatch, *idleConn, *meta, os.Stdout)
-	default:
-		fmt.Fprintln(os.Stderr, "lsmload: either -addr (replay) or -check (validate) is required")
-		flag.Usage()
-		os.Exit(2)
+	}
+	if perr := profiles.Stop(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmload:", err)

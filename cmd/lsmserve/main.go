@@ -7,6 +7,7 @@
 //
 //	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
 //	         [-max-conns 256] [-write-timeout 10s] [-idle-timeout 60s]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -max-conns bounds concurrently served connections: a connection
 // beyond the limit is answered with "ERR busy" and closed immediately —
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/liveserver"
+	"repro/internal/prof"
 	"repro/internal/wmslog"
 )
 
@@ -45,14 +47,22 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 10*time.Second, "disconnect a client that stops reading after this long (0 disables)")
 		idleTO   = flag.Duration("idle-timeout", 60*time.Second, "drop connections silent outside a transfer for this long (0 disables)")
 		maxConnO = flag.Int("maxconns", 0, "deprecated alias for -max-conns")
+
+		profiles prof.Profiles
 	)
+	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *maxConnO != 0 {
 		*maxConn = *maxConnO
 	}
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserve:", err)
+		os.Exit(1)
+	}
 
 	app, err := newApp(*addr, *logPath, *rate, *maxConn, *writeTO, *idleTO)
 	if err != nil {
+		profiles.Stop()
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
 		os.Exit(1)
 	}
@@ -60,7 +70,14 @@ func main() {
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
-	if err := app.loop(interrupt, 10*time.Second, os.Stdout); err != nil {
+	err = app.loop(interrupt, 10*time.Second, os.Stdout)
+	// The profiles cover the server's full lifetime: they stop after
+	// shutdown has drained the handlers, so the artifacts include every
+	// served transfer.
+	if perr := profiles.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"math/rand"
+	randv2 "math/rand/v2"
 	"testing"
 
 	"repro/internal/dist"
@@ -96,7 +97,7 @@ func BenchmarkExtensionQoSAbandonment(b *testing.B) {
 	b.ResetTimer()
 	var study *simulate.QoSStudy
 	for i := 0; i < b.N; i++ {
-		study, err = simulate.RunQoSStudy(w, cfg, simulate.DefaultQoSConfig(), 14400, rand.New(rand.NewSource(int64(i)+9)))
+		study, err = simulate.RunQoSStudy(w, cfg, simulate.DefaultQoSConfig(), 14400, randv2.New(randv2.NewPCG(uint64(i)+9, 0)))
 		if err != nil {
 			b.Fatal(err)
 		}

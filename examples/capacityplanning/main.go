@@ -69,7 +69,7 @@ func planAt(scale float64) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := simulate.Run(w, simulate.DefaultConfig(), rng)
+	res, err := simulate.Run(w, simulate.DefaultConfig(), rng.Uint64())
 	if err != nil {
 		return nil, err
 	}

@@ -69,7 +69,7 @@ func study(name string, m gismo.Model, seed int64) (eventStats, error) {
 	if err != nil {
 		return eventStats{}, err
 	}
-	res, err := simulate.Run(w, simulate.DefaultConfig(), rng)
+	res, err := simulate.Run(w, simulate.DefaultConfig(), rng.Uint64())
 	if err != nil {
 		return eventStats{}, err
 	}

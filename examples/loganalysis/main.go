@@ -40,7 +40,7 @@ func main() {
 	fatal(err)
 	scfg := simulate.DefaultConfig()
 	scfg.SpanningPerMillion = 20000 // 2%: visible multi-harvest artifacts
-	res, err := simulate.Run(w, scfg, rng)
+	res, err := simulate.Run(w, scfg, rng.Uint64())
 	fatal(err)
 	files, err := res.WriteLogs(dir)
 	fatal(err)

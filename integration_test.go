@@ -30,7 +30,7 @@ func TestEndToEndDiskRoundTrip(t *testing.T) {
 	}
 	cfg := simulate.DefaultConfig()
 	cfg.SpanningPerMillion = 10000 // 1%
-	res, err := simulate.Run(w, cfg, rng)
+	res, err := simulate.Run(w, cfg, rng.Uint64())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSeededRunsFullyReproducible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := simulate.Run(w, simulate.DefaultConfig(), rng)
+		res, err := simulate.Run(w, simulate.DefaultConfig(), rng.Uint64())
 		if err != nil {
 			t.Fatal(err)
 		}

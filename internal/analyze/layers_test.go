@@ -36,7 +36,7 @@ func getFixture(t *testing.T) *fixture {
 	}
 	cfg := simulate.DefaultConfig()
 	cfg.SpanningPerMillion = 0
-	res, err := simulate.Run(w, cfg, rand.New(rand.NewSource(43)))
+	res, err := simulate.Run(w, cfg, 43)
 	if err != nil {
 		t.Fatal(err)
 	}

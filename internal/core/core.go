@@ -146,7 +146,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("generate: %w", err)
 	}
-	res, err := simulate.Run(w, cfg.Server, rng)
+	// The simulator derives all server-model draws from the seed alone
+	// (per-event splitmix streams), so Run and RunStreamed serve
+	// byte-identical results for equal seeds.
+	res, err := simulate.Run(w, cfg.Server, uint64(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("simulate: %w", err)
 	}

@@ -26,13 +26,15 @@ type StreamReport struct {
 }
 
 // RunStreamed executes the streaming pipeline: sharded generation,
-// streamed serving, online measurement — one pass, no materialized
-// workload, trace or log slice. For equal seeds it serves the exact
-// request sequence Run serves (the stream is shard-count invariant and
-// Run's generator is a drained stream), so its exact quantities —
-// transfer count, bytes, peak concurrency — match Run's, while the
-// sketched ones (distinct counts, quantiles) carry the error bounds
-// documented on analyze.OnlineLayer.
+// sharded serving (one serve lane per generator shard), online
+// measurement — one pass, no materialized workload, trace or log
+// slice. For equal seeds it serves the exact request sequence Run
+// serves (the stream is shard-count invariant, Run's generator is a
+// drained stream, and the simulator's draws are a pure function of the
+// seed and the event identity), so its exact quantities — transfer
+// count, bytes, peak concurrency — match Run's, while the sketched
+// ones (distinct counts, quantiles) carry the error bounds documented
+// on analyze.OnlineLayer.
 func RunStreamed(cfg Config, shards int) (*StreamReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -48,7 +50,7 @@ func RunStreamed(cfg Config, shards int) (*StreamReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := simulate.RunStream(ws, ws.Population(), cfg.Model.Horizon, cfg.Server, rng, simulate.StreamSinks{
+	res, err := simulate.RunStreamSharded(ws, ws.Population(), cfg.Model.Horizon, cfg.Server, uint64(cfg.Seed), shards, simulate.StreamSinks{
 		Transfer: online.Add,
 	})
 	if err != nil {

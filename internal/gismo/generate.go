@@ -11,12 +11,18 @@ import (
 
 // Request is one generated transfer request: client ID, live object, start
 // time, and requested length (seconds). The simulator turns requests into
-// served transfers and log entries.
+// served transfers and log entries. Session and Seq preserve the
+// stream identity the request was generated under — the simulator's
+// per-transfer randomness is keyed by it, so a materialized workload
+// replayed through Stream serves byte-identically to the live event
+// stream.
 type Request struct {
 	Client   int
 	Object   int
 	Start    int64 // seconds since trace start
 	Duration int64 // seconds
+	Session  int   // global session index (arrival order)
+	Seq      int   // transfer index within the session
 }
 
 // End returns Start + Duration.
@@ -72,6 +78,8 @@ func Generate(m Model, rng *rand.Rand) (*Workload, error) {
 			Object:   e.Object,
 			Start:    e.Start,
 			Duration: e.Duration,
+			Session:  e.Session,
+			Seq:      e.Seq,
 		})
 	}
 	w.SessionCount = ws.Sessions()
@@ -79,9 +87,10 @@ func Generate(m Model, rng *rand.Rand) (*Workload, error) {
 }
 
 // Stream replays the materialized workload as an event stream, reading
-// the request slice in place (no copy) and assigning each request its
-// position as the session key so the (Start, Session, Seq) total order
-// matches the slice order.
+// the request slice in place (no copy). Requests carry their original
+// (Session, Seq) identity, so the replay is indistinguishable from the
+// live generator stream — including to the simulator's identity-keyed
+// randomness.
 func (w *Workload) Stream() workload.Stream {
 	return &requestStream{requests: w.Requests}
 }
@@ -99,7 +108,8 @@ func (rs *requestStream) Next() (workload.Event, bool) {
 	}
 	r := rs.requests[rs.pos]
 	e := workload.Event{
-		Session:  rs.pos,
+		Session:  r.Session,
+		Seq:      r.Seq,
 		Client:   r.Client,
 		Object:   r.Object,
 		Start:    r.Start,

@@ -197,6 +197,23 @@ func (ws *WorkloadStream) runShard(s int, out chan<- []workload.Event, interest,
 			return false
 		}
 	}
+	// Exhausted sessions donate their event slices back; expansion
+	// reuses them, so steady-state generation allocates one slice per
+	// *concurrently pending* session, not per session.
+	var spare [][]workload.Event
+	step := func() {
+		if done := advanceCursor(&pending); done != nil {
+			spare = append(spare, done[:0])
+		}
+	}
+	nextBuf := func() []workload.Event {
+		if n := len(spare); n > 0 {
+			b := spare[n-1]
+			spare = spare[:n-1]
+			return b
+		}
+		return nil
+	}
 
 	for idx, at := range ws.schedule {
 		bound := workload.Event{Start: at, Session: idx}
@@ -207,15 +224,17 @@ func (ws *WorkloadStream) runShard(s int, out chan<- []workload.Event, interest,
 			if len(batch) == streamBatch && !flushBatch() {
 				return
 			}
-			advanceCursor(&pending)
+			step()
 		}
 		u := interestUniform(interestRoot, idx)
 		if owner := int(u * float64(ws.shards)); owner == s ||
 			(owner >= ws.shards && s == ws.shards-1) { // guard float rounding at u→1
 			client := interest.RankOfU(u*interestTotal) - 1
 			sessSrc.Seed(int64(dist.Mix64(sessionRoot, uint64(idx))))
-			if events := expandSession(&m, idx, client, at, sessRng, perSession, gap, length); len(events) > 0 {
-				pending.Push(cursor{events: events})
+			if events := expandSession(&m, idx, client, at, sessRng, perSession, gap, length, nextBuf()); len(events) > 0 {
+				pending.Push(newCursor(events))
+			} else if events != nil {
+				spare = append(spare, events[:0])
 			}
 		}
 	}
@@ -224,7 +243,7 @@ func (ws *WorkloadStream) runShard(s int, out chan<- []workload.Event, interest,
 		if len(batch) == streamBatch && !flushBatch() {
 			return
 		}
-		advanceCursor(&pending)
+		step()
 	}
 	if len(batch) > 0 {
 		flushBatch()
@@ -234,10 +253,15 @@ func (ws *WorkloadStream) runShard(s int, out chan<- []workload.Event, interest,
 // expandSession draws one session's transfers from its dedicated RNG:
 // transfer count (Zipf), intra-session gaps and lengths (lognormal),
 // object choice — the same draw order per transfer as the original
-// materializing generator, truncated at the horizon.
-func expandSession(m *Model, session, client int, start int64, rng *rand.Rand, perSession *dist.Zipf, gap, length dist.Lognormal) []workload.Event {
+// materializing generator, truncated at the horizon. buf, when
+// non-nil, is a recycled slice to expand into (its capacity is reused;
+// growth falls back to append's normal allocation).
+func expandSession(m *Model, session, client int, start int64, rng *rand.Rand, perSession *dist.Zipf, gap, length dist.Lognormal, buf []workload.Event) []workload.Event {
 	n := perSession.SampleRank(rng)
-	events := make([]workload.Event, 0, n)
+	events := buf
+	if events == nil {
+		events = make([]workload.Event, 0, n)
+	}
 	t := start
 	for k := 0; k < n; k++ {
 		if k > 0 {
@@ -291,29 +315,40 @@ func (so *shardOutput) Next() (workload.Event, bool) {
 
 // cursor walks one expanded session. Events within a session are in
 // stream order by construction (gaps are non-negative, Seq increases).
+// The head event is cached inline so heap comparisons — the hottest
+// loop of the generator — never chase the events slice.
 type cursor struct {
+	hd     workload.Event
 	events []workload.Event
 	pos    int
 }
 
-func (c cursor) head() workload.Event { return c.events[c.pos] }
+func newCursor(events []workload.Event) cursor {
+	return cursor{hd: events[0], events: events}
+}
+
+func (c cursor) head() workload.Event { return c.hd }
 
 // newCursorHeap builds the min-heap of session cursors keyed by head
 // event.
 func newCursorHeap() heapx.Heap[cursor] {
-	return heapx.New(func(a, b cursor) bool { return a.head().Less(b.head()) })
+	return heapx.New(func(a, b cursor) bool { return a.hd.Less(b.hd) })
 }
 
 // advanceCursor consumes the top cursor's head event: steps it forward
-// in place, or removes the cursor when its session is exhausted.
-func advanceCursor(h *heapx.Heap[cursor]) {
+// in place, or removes the cursor when its session is exhausted — in
+// which case the session's event slice is returned for reuse.
+func advanceCursor(h *heapx.Heap[cursor]) []workload.Event {
 	top := h.Top()
 	top.pos++
 	if top.pos >= len(top.events) {
+		done := top.events
 		h.Pop()
-		return
+		return done
 	}
+	top.hd = top.events[top.pos]
 	h.FixTop()
+	return nil
 }
 
 // DefaultShards picks the shard count for the Generate compatibility

@@ -6,10 +6,21 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// Preformatted control replies: the fixed lines of the protocol are
+// written as shared byte slices, so the reply path performs no
+// per-message formatting or allocation. Dynamic replies are appended
+// into a per-connection scratch buffer (see conn scratch in handle).
+var (
+	replyOKHello = []byte("OK HELLO\n")
+	replyOKBye   = []byte("OK BYE\n")
+	replyErrBusy = []byte("ERR busy\n")
 )
 
 // TransferRecord is what the server logs when a transfer ends — the
@@ -80,7 +91,8 @@ type Server struct {
 	refused  atomic.Int64 // connections refused at MaxConns
 	accepted atomic.Int64 // connections admitted past MaxConns gating
 
-	payload []byte // shared frame payload
+	payload    []byte // shared frame payload
+	dataHeader []byte // preformatted "DATA <n>\n" for the fixed frame size
 }
 
 // Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
@@ -105,10 +117,11 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("liveserver: listen: %w", err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		ln:      ln,
-		conns:   make(map[net.Conn]struct{}),
-		payload: make([]byte, cfg.FrameBytes),
+		cfg:        cfg,
+		ln:         ln,
+		conns:      make(map[net.Conn]struct{}),
+		payload:    make([]byte, cfg.FrameBytes),
+		dataHeader: []byte(fmt.Sprintf("DATA %d\n", cfg.FrameBytes)),
 	}
 	for i := range s.payload {
 		s.payload[i] = byte('A' + i%26)
@@ -199,7 +212,7 @@ func (s *Server) untrack(conn net.Conn) {
 // Best effort under a short deadline; the connection closes either way.
 func refuse(conn net.Conn) {
 	conn.SetWriteDeadline(time.Now().Add(time.Second))
-	conn.Write([]byte("ERR busy\n"))
+	conn.Write(replyErrBusy)
 	conn.Close()
 }
 
@@ -267,9 +280,20 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 
-	sendErr := func(reason string) {
+	// scratch holds every dynamic reply this connection ever formats —
+	// ERR reasons, OK START, END — appended with strconv, never fmt,
+	// so the control path allocates nothing per message.
+	scratch := make([]byte, 0, 128)
+
+	// sendErr renders "ERR <reason><detail>\n" through the appended-
+	// bytes path; every error reply, protocol or state-machine, goes
+	// through here so error handling is alloc-free and always newline-
+	// terminated. detail is usually empty — it exists so callers can
+	// attach a client-supplied argument without concatenating strings.
+	sendErr := func(reason, detail string) {
 		s.armWrite(conn)
-		fmt.Fprintf(writer, "ERR %s\n", reason)
+		scratch = append(append(append(append(scratch[:0], "ERR "...), reason...), detail...), '\n')
+		writer.Write(scratch)
 		writer.Flush()
 	}
 
@@ -285,42 +309,42 @@ func (s *Server) handle(conn net.Conn) {
 			// Malformed command lines get a reason before the close;
 			// read errors (EOF, idle timeout) just end the connection.
 			if errors.Is(msg.err, ErrProtocol) {
-				sendErr(trimErr(msg.err))
+				sendErr(trimErr(msg.err), "")
 			}
 			return
 		}
 		switch msg.cmd.verb {
 		case "HELLO":
 			if playerID != "" {
-				sendErr("duplicate HELLO")
+				sendErr("duplicate HELLO", "")
 				return
 			}
 			playerID = msg.cmd.arg
 			s.armWrite(conn)
-			fmt.Fprintf(writer, "OK HELLO\n")
+			writer.Write(replyOKHello)
 			if err := writer.Flush(); err != nil {
 				return
 			}
 		case "START":
 			if playerID == "" {
-				sendErr("HELLO required before START")
+				sendErr("HELLO required before START", "")
 				return
 			}
 			if !s.validObject(msg.cmd.arg) {
-				sendErr("unknown object " + msg.cmd.arg)
+				sendErr("unknown object ", msg.cmd.arg)
 				return
 			}
 			s.disarmIdle(conn)
-			err := s.stream(conn, writer, in, playerID, remoteIP, msg.cmd.arg)
+			err := s.stream(conn, writer, in, &scratch, playerID, remoteIP, msg.cmd.arg)
 			if err != nil {
 				return
 			}
 		case "STOP":
-			sendErr("STOP without active transfer")
+			sendErr("STOP without active transfer", "")
 			return
 		case "QUIT":
 			s.armWrite(conn)
-			fmt.Fprintf(writer, "OK BYE\n")
+			writer.Write(replyOKBye)
 			writer.Flush()
 			return
 		}
@@ -342,9 +366,16 @@ func trimErr(err error) string {
 // socket is disconnected after WriteTimeout instead of blocking the
 // handler on a full send buffer; no server lock is ever held across the
 // socket I/O (the only shared state touched here is atomic counters).
-func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, playerID, remoteIP, uri string) error {
+//
+// The data path is allocation-free: the "DATA <n>" header is
+// preformatted once per server (the frame size is fixed), the header
+// and payload are batched into the bufio writer and flushed as one
+// burst per frame, and the END/ERR replies are appended into the
+// connection's scratch buffer.
+func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, scratch *[]byte, playerID, remoteIP, uri string) error {
 	s.armWrite(conn)
-	fmt.Fprintf(writer, "OK START %s\n", uri)
+	*scratch = append(append(append((*scratch)[:0], "OK START "...), uri...), '\n')
+	writer.Write(*scratch)
 	if err := writer.Flush(); err != nil {
 		return err
 	}
@@ -365,7 +396,12 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, 
 			switch msg.cmd.verb {
 			case "STOP":
 				s.armWrite(conn)
-				fmt.Fprintf(writer, "END %d %d\n", sent, frames)
+				b := append((*scratch)[:0], "END "...)
+				b = strconv.AppendInt(b, sent, 10)
+				b = append(b, ' ')
+				b = strconv.AppendInt(b, int64(frames), 10)
+				*scratch = append(b, '\n')
+				writer.Write(*scratch)
 				if err := writer.Flush(); err != nil {
 					return err
 				}
@@ -376,13 +412,14 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, 
 				return io.EOF
 			default:
 				s.armWrite(conn)
-				fmt.Fprintf(writer, "ERR %s during transfer\n", msg.cmd.verb)
+				*scratch = append(append(append(append((*scratch)[:0], "ERR "...), msg.cmd.verb...), " during transfer"...), '\n')
+				writer.Write(*scratch)
 				writer.Flush()
 				return fmt.Errorf("%w: %s during transfer", ErrProtocol, msg.cmd.verb)
 			}
 		case <-ticker.C:
 			s.armWrite(conn)
-			fmt.Fprintf(writer, "DATA %d\n", len(s.payload))
+			writer.Write(s.dataHeader)
 			if _, err := writer.Write(s.payload); err != nil {
 				return err
 			}

@@ -2,7 +2,7 @@ package simulate
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 )
 
 // drawBandwidth models Figure 20's two modes.

@@ -2,7 +2,7 @@ package simulate
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 )
 
@@ -38,11 +38,11 @@ func NewFeedSchedule(object int, horizon int64, meanDwell float64, rng *rand.Ran
 	}
 	fs := &FeedSchedule{Object: object}
 	t := int64(0)
-	cam := rng.Intn(NumCameras)
+	cam := rng.IntN(NumCameras)
 	for t < horizon {
 		fs.Switches = append(fs.Switches, CameraSwitch{At: t, Camera: cam})
 		t += int64(rng.ExpFloat64()*meanDwell) + 1
-		next := rng.Intn(NumCameras - 1)
+		next := rng.IntN(NumCameras - 1)
 		if next >= cam {
 			next++ // uniform over the other 47 cameras
 		}

@@ -1,7 +1,7 @@
 package simulate
 
 import (
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/gismo"
 	"repro/internal/stats"
@@ -103,9 +103,10 @@ type QoSStudy struct {
 	TransfersCut         int
 }
 
-// RunQoSStudy executes the study.
+// RunQoSStudy executes the study. rng seeds the serving pass and
+// drives the abandonment draws.
 func RunQoSStudy(w *gismo.Workload, serverCfg Config, qos QoSConfig, congestionBps int64, rng *rand.Rand) (*QoSStudy, error) {
-	res, err := Run(w, serverCfg, rng)
+	res, err := Run(w, serverCfg, rng.Uint64())
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,7 @@
 package simulate
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/trace"
@@ -18,7 +18,7 @@ func TestApplyQoSAbandonmentCutsOnlyCongested(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := QoSConfig{AbandonProb: 1.0, MinFraction: 0.02}
-	cut, n, err := ApplyQoSAbandonment(tr, cfg, 14400, rand.New(rand.NewSource(1)))
+	cut, n, err := ApplyQoSAbandonment(tr, cfg, 14400, rand.New(rand.NewPCG(1, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestApplyQoSAbandonmentZeroProb(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, n, err := ApplyQoSAbandonment(tr, QoSConfig{AbandonProb: 0, MinFraction: 0.02}, 14400, rand.New(rand.NewSource(1)))
+	_, n, err := ApplyQoSAbandonment(tr, QoSConfig{AbandonProb: 0, MinFraction: 0.02}, 14400, rand.New(rand.NewPCG(1, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestRunQoSStudyShowsCounterfactualCorrelation(t *testing.T) {
 	w := testWorkload(t, 30)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 0
-	study, err := RunQoSStudy(w, cfg, DefaultQoSConfig(), 14400, rand.New(rand.NewSource(31)))
+	study, err := RunQoSStudy(w, cfg, DefaultQoSConfig(), 14400, rand.New(rand.NewPCG(31, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,307 @@
+package simulate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/gismo"
+	"repro/internal/heapx"
+	"repro/internal/workload"
+)
+
+const (
+	// serveBatch is the number of events handed across each pipeline
+	// channel per operation, amortizing channel overhead.
+	serveBatch = 512
+	// serveDepth is the per-lane input channel depth, bounding how far
+	// the dispatcher runs ahead of a worker.
+	serveDepth = 4
+	// MaxServeLanes bounds the serve worker count.
+	MaxServeLanes = 1024
+)
+
+// laneItem is one admitted event on its way to a serve worker: the
+// event, its global admission sequence number, and the concurrency
+// level the dispatcher observed at admission.
+type laneItem struct {
+	ev   workload.Event
+	seq  int64
+	conc int32
+}
+
+// laneResult is one served event on its way back to the collector,
+// which restores the exact global admission order by reordering on
+// seq.
+type laneResult struct {
+	seq   int64
+	start int64
+	sv    served
+}
+
+// RunStreamSharded is the parallel form of RunStream: a serial
+// dispatcher admits events in start order (computing the concurrency
+// level, the only cross-event state), hash-partitions them across
+// lanes client lanes, each lane worker computes its transfers' server-
+// model draws and log entries independently, and a collector reorders
+// the results back into admission order (by sequence number) before
+// running the same end-time reorder buffer as the sequential path.
+//
+// Because every per-transfer draw is a pure function of (seed, event
+// identity) — see serveLane — and the collector restores the exact
+// admission order, the sinks observe byte-for-byte the sequence
+// RunStream produces: the served log is invariant under the lane
+// count. lanes = 1 runs the same pipeline with a single worker.
+//
+// Liveness: all workers share one output channel and the collector
+// only ever blocks on it, so a lane that happens to receive few (or
+// no) events can never wedge the pipeline; the dispatcher force-
+// flushes every partial batch once per serveBatch admissions, which
+// bounds both the collector's reorder buffer and the latency of a
+// cold lane's events.
+func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64, cfg Config, seed uint64, lanes int, sinks StreamSinks) (*StreamResult, error) {
+	if lanes < 1 || lanes > MaxServeLanes {
+		return nil, fmt.Errorf("%w: serve lanes %d", ErrBadConfig, lanes)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pop == nil || pop.Size() == 0 {
+		return nil, fmt.Errorf("%w: empty population", ErrBadConfig)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadConfig, horizon)
+	}
+
+	pool := newSyncEntryPool()
+	stop := make(chan struct{}) // closed by the collector on abort
+	laneCh := make([]chan []laneItem, lanes)
+	for k := 0; k < lanes; k++ {
+		laneCh[k] = make(chan []laneItem, serveDepth)
+	}
+	outCh := make(chan []laneResult, lanes*serveDepth)
+	// Batch slices cycle between the stages through sync.Pools, so the
+	// steady-state pipeline allocates no per-batch garbage.
+	itemBatches := &batchPool[laneItem]{}
+	resultBatches := &batchPool[laneResult]{}
+
+	// Dispatcher: the serial prologue. Validates the stream, tracks
+	// concurrency, and fans events out by client hash. Its error and
+	// the concurrency peak are published before the lane channels
+	// close, which happens-before outCh closes (via the worker
+	// WaitGroup), which happens-before the collector reads them.
+	var dispatchErr error
+	var peak int
+	var admitted int64
+	go func() {
+		defer func() {
+			for _, ch := range laneCh {
+				close(ch)
+			}
+		}()
+		defer workload.CloseStream(src)
+		concurrency := newConcurrencyTracker()
+		batches := make([][]laneItem, lanes)
+		for k := range batches {
+			batches[k] = itemBatches.get()
+		}
+		send := func(lane int) bool {
+			select {
+			case laneCh[lane] <- batches[lane]:
+				batches[lane] = itemBatches.get()
+				return true
+			case <-stop:
+				return false
+			}
+		}
+		var lastStart int64
+		var seq int64
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			if ev.Client < 0 || ev.Client >= pop.Size() {
+				dispatchErr = fmt.Errorf("%w: client %d outside population of %d", ErrBadConfig, ev.Client, pop.Size())
+				break
+			}
+			if seq > 0 && ev.Start < lastStart {
+				dispatchErr = fmt.Errorf("%w: stream not in start order (%d after %d)", ErrBadConfig, ev.Start, lastStart)
+				break
+			}
+			lastStart = ev.Start
+			conc := concurrency.admit(ev.Start, ev.End())
+			lane := int(dist.Mix64(uint64(ev.Client), 0) % uint64(lanes))
+			batches[lane] = append(batches[lane], laneItem{ev: ev, seq: seq, conc: int32(conc)})
+			seq++
+			if len(batches[lane]) == serveBatch {
+				if !send(lane) {
+					return
+				}
+			}
+			// Flush cadence: a skewed client hash must not strand a
+			// cold lane's partial batch (and with it a low seq the
+			// collector is waiting to emit) while hot lanes stream on.
+			if seq%serveBatch == 0 {
+				for l := range batches {
+					if len(batches[l]) > 0 && !send(l) {
+						return
+					}
+				}
+			}
+		}
+		for lane, b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			select {
+			case laneCh[lane] <- b:
+			case <-stop:
+				return
+			}
+		}
+		peak = concurrency.peak
+		admitted = seq
+	}()
+
+	// Lane workers: all the per-transfer computation — server-model
+	// draws, byte accounting, entry rendering into pooled entries —
+	// runs here, in parallel across lanes, funneling into the shared
+	// output channel.
+	var workers sync.WaitGroup
+	workers.Add(lanes)
+	for k := 0; k < lanes; k++ {
+		go func(k int) {
+			defer workers.Done()
+			es := newEventServer(&cfg, pop, horizon, seed, pool, sinks)
+			out := resultBatches.get()
+			flush := func() bool {
+				select {
+				case outCh <- out:
+					out = resultBatches.get()
+					return true
+				case <-stop:
+					return false
+				}
+			}
+			for batch := range laneCh[k] {
+				for _, it := range batch {
+					out = append(out, laneResult{seq: it.seq, start: it.ev.Start})
+					es.serve(it.ev, int(it.conc), &out[len(out)-1].sv)
+				}
+				itemBatches.put(batch)
+				// One result batch per input batch: results reach the
+				// collector as promptly as events reached the worker.
+				if len(out) > 0 && !flush() {
+					return
+				}
+			}
+		}(k)
+	}
+	go func() {
+		workers.Wait()
+		close(outCh)
+	}()
+
+	// Collector (this goroutine): reorder the shared result stream
+	// back into global admission order with a min-heap on seq —
+	// sequence numbers are dense, so the heap drains every run of
+	// contiguous results — then run the identical transfer-sink /
+	// reorder-buffer emission logic as the sequential path.
+	res := &StreamResult{}
+	pending := newPendingEntries(pool)
+	var firstErr error
+	abort := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+	}
+	emit := func(r laneResult) error {
+		if err := pending.flushThrough(r.start, false, sinks.Entry); err != nil {
+			return err
+		}
+		res.Transfers++
+		res.TotalBytes += r.sv.bytes
+		if sinks.Transfer != nil {
+			if err := sinks.Transfer(r.sv.transfer); err != nil {
+				return err
+			}
+		}
+		if r.sv.entry != nil {
+			pending.push(r.sv.end, r.sv.entry)
+			if r.sv.dup != nil {
+				pending.push(r.sv.end, r.sv.dup)
+			}
+		}
+		if r.sv.injected {
+			res.Injected++
+		}
+		return nil
+	}
+
+	reorder := heapx.New(func(a, b laneResult) bool { return a.seq < b.seq })
+	var next int64
+	for batch := range outCh {
+		if firstErr != nil {
+			continue // draining so the producers observe stop and exit
+		}
+		for _, r := range batch {
+			reorder.Push(r)
+		}
+		resultBatches.put(batch)
+		for reorder.Len() > 0 && reorder.Peek().seq == next {
+			next++
+			if err := emit(reorder.Pop()); err != nil {
+				abort(err)
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// outCh is closed: the dispatcher and all workers are done and the
+	// published error/peak are visible; every result is in the heap.
+	if dispatchErr != nil {
+		return nil, dispatchErr
+	}
+	for reorder.Len() > 0 {
+		r := reorder.Pop()
+		if r.seq != next {
+			return nil, fmt.Errorf("simulate: sharded serve lost seq %d (got %d)", next, r.seq)
+		}
+		next++
+		if err := emit(r); err != nil {
+			return nil, err
+		}
+	}
+	if res.Transfers == 0 {
+		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
+	}
+	if int64(res.Transfers) != admitted {
+		return nil, fmt.Errorf("simulate: sharded serve emitted %d of %d admitted transfers", res.Transfers, admitted)
+	}
+	if err := pending.flushThrough(0, true, sinks.Entry); err != nil {
+		return nil, err
+	}
+	res.PeakConcurrency = peak
+	return res, nil
+}
+
+// batchPool recycles batch slices across pipeline stages.
+type batchPool[T any] struct {
+	p sync.Pool
+}
+
+func (bp *batchPool[T]) get() []T {
+	if v := bp.p.Get(); v != nil {
+		return (*v.(*[]T))[:0]
+	}
+	return make([]T, 0, serveBatch)
+}
+
+func (bp *batchPool[T]) put(b []T) {
+	bp.p.Put(&b)
+}

@@ -1,0 +1,198 @@
+package simulate
+
+import (
+	"bytes"
+	"crypto/md5"
+	"errors"
+	"fmt"
+	legacyrand "math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gismo"
+	"repro/internal/trace"
+	"repro/internal/wmslog"
+	"repro/internal/workload"
+)
+
+// serveToLog runs the given serve function over a fresh replay of w and
+// returns the md5 of the emitted WMS log plus the run summary.
+func serveToLog(t *testing.T, w interface {
+	Stream() workload.Stream
+}, run func(src workload.Stream, sinks StreamSinks) (*StreamResult, error)) ([md5.Size]byte, *StreamResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	lw := wmslog.NewWriter(&buf)
+	res, err := run(w.Stream(), StreamSinks{Entry: lw.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return md5.Sum(buf.Bytes()), res
+}
+
+// TestRunStreamShardedLogInvariant is the sharded-serve contract: the
+// served WMS log must be md5-identical between the sequential path and
+// the sharded path at every lane count, for the same seed.
+func TestRunStreamShardedLogInvariant(t *testing.T) {
+	w := testWorkload(t, 21)
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 2000 // exercise injection across lanes
+	const seed = 99
+
+	sums := map[string][md5.Size]byte{}
+	results := map[string]*StreamResult{}
+	sums["sequential"], results["sequential"] = serveToLog(t, w,
+		func(src workload.Stream, sinks StreamSinks) (*StreamResult, error) {
+			return RunStream(src, w.Population, w.Model.Horizon, cfg, seed, sinks)
+		})
+	for _, lanes := range []int{1, 4, 8} {
+		key := fmt.Sprintf("lanes=%d", lanes)
+		sums[key], results[key] = serveToLog(t, w,
+			func(src workload.Stream, sinks StreamSinks) (*StreamResult, error) {
+				return RunStreamSharded(src, w.Population, w.Model.Horizon, cfg, seed, lanes, sinks)
+			})
+	}
+
+	base := results["sequential"]
+	if base.Injected == 0 {
+		t.Fatal("fixture injected nothing; the test would not cover spanning twins")
+	}
+	for key, sum := range sums {
+		if sum != sums["sequential"] {
+			t.Errorf("%s: log md5 differs from sequential", key)
+		}
+		r := results[key]
+		if *r != *base {
+			t.Errorf("%s: result %+v differs from sequential %+v", key, r, base)
+		}
+	}
+}
+
+// TestRunStreamShardedMatchesSinks pins the transfer-sink order and
+// content of the sharded path to the sequential one.
+func TestRunStreamShardedMatchesSinks(t *testing.T) {
+	w := testWorkload(t, 22)
+	cfg := DefaultConfig()
+	const seed = 7
+
+	collect := func(run func(src workload.Stream, sinks StreamSinks) (*StreamResult, error)) []trace.Transfer {
+		var out []trace.Transfer
+		_, err := run(w.Stream(), StreamSinks{
+			Transfer: func(tr trace.Transfer) error { out = append(out, tr); return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seqT := collect(func(src workload.Stream, sinks StreamSinks) (*StreamResult, error) {
+		return RunStream(src, w.Population, w.Model.Horizon, cfg, seed, sinks)
+	})
+	shT := collect(func(src workload.Stream, sinks StreamSinks) (*StreamResult, error) {
+		return RunStreamSharded(src, w.Population, w.Model.Horizon, cfg, seed, 5, sinks)
+	})
+	if len(seqT) != len(shT) {
+		t.Fatalf("transfer counts differ: %d vs %d", len(seqT), len(shT))
+	}
+	for i := range seqT {
+		if seqT[i] != shT[i] {
+			t.Fatalf("transfer %d differs:\nseq:     %+v\nsharded: %+v", i, seqT[i], shT[i])
+		}
+	}
+}
+
+// TestRunStreamShardedValidation: the sharded path must reject exactly
+// what the sequential path rejects, without deadlocking its pipeline.
+func TestRunStreamShardedValidation(t *testing.T) {
+	w := testWorkload(t, 2)
+	cfg := DefaultConfig()
+
+	if _, err := RunStreamSharded(w.Stream(), w.Population, w.Model.Horizon, cfg, 1, 0, StreamSinks{}); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := RunStreamSharded(w.Stream(), nil, w.Model.Horizon, cfg, 1, 2, StreamSinks{}); err == nil {
+		t.Error("nil population accepted")
+	}
+	if _, err := RunStreamSharded(workload.NewSliceStream(nil), w.Population, w.Model.Horizon, cfg, 1, 2, StreamSinks{}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := workload.NewSliceStream([]workload.Event{
+		{Session: 0, Start: 100, Duration: 1},
+		{Session: 1, Start: 50, Duration: 1},
+	})
+	if _, err := RunStreamSharded(bad, w.Population, w.Model.Horizon, cfg, 1, 2, StreamSinks{}); err == nil {
+		t.Error("out-of-order stream accepted")
+	}
+	escape := workload.NewSliceStream([]workload.Event{
+		{Session: 0, Client: w.Population.Size(), Start: 1, Duration: 1},
+	})
+	if _, err := RunStreamSharded(escape, w.Population, w.Model.Horizon, cfg, 1, 2, StreamSinks{}); err == nil {
+		t.Error("client outside population accepted")
+	}
+}
+
+// TestRunStreamShardedSkewedLanes is the liveness regression test for
+// the hash-skew deadlock: a stream whose events all hash to one lane
+// (a single client) must still complete at any lane count — the
+// collector must never block on a cold lane while hot lanes stall the
+// pipeline. Guarded by a timeout so a regression fails instead of
+// hanging the suite.
+func TestRunStreamShardedSkewedLanes(t *testing.T) {
+	m, err := gismo.Scaled(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := gismo.NewPopulation(1, m.Topology, legacyrand.New(legacyrand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 0 // entry count must equal the event count
+	const n = 20_000
+
+	done := make(chan error, 1)
+	go func() {
+		served := 0
+		res, err := RunStreamSharded(&syntheticStream{n: n, clients: 1}, pop, int64(n), cfg, 9, 4, StreamSinks{
+			Entry: func(e *wmslog.Entry) error { served++; return nil },
+		})
+		if err == nil && (res.Transfers != n || served != n) {
+			err = fmt.Errorf("served %d/%d transfers (%d entries)", res.Transfers, n, served)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("sharded serve deadlocked on a skewed lane distribution")
+	}
+}
+
+// TestRunStreamShardedSinkError: a failing sink aborts the whole
+// pipeline promptly (workers and dispatcher included) and surfaces the
+// sink's error.
+func TestRunStreamShardedSinkError(t *testing.T) {
+	w := testWorkload(t, 23)
+	cfg := DefaultConfig()
+	boom := errors.New("sink boom")
+
+	n := 0
+	_, err := RunStreamSharded(w.Stream(), w.Population, w.Model.Horizon, cfg, 1, 4, StreamSinks{
+		Transfer: func(tr trace.Transfer) error {
+			n++
+			if n == 10 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"repro/internal/gismo"
@@ -125,9 +124,11 @@ type Result struct {
 // Run serves the workload and returns the resulting trace and log. It
 // is the materializing compatibility wrapper around RunStream: the
 // workload is replayed as an event stream and every transfer and log
-// entry is collected in memory. Scale-sensitive callers should use
-// RunStream with sinks instead.
-func Run(w *gismo.Workload, cfg Config, rng *rand.Rand) (*Result, error) {
+// entry is collected in memory (entries are copied out of the stream's
+// pool). seed drives every server-model draw; equal seeds give
+// identical results at any serve-lane count. Scale-sensitive callers
+// should use RunStream or RunStreamSharded with sinks instead.
+func Run(w *gismo.Workload, cfg Config, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,13 +137,14 @@ func Run(w *gismo.Workload, cfg Config, rng *rand.Rand) (*Result, error) {
 	}
 	transfers := make([]trace.Transfer, 0, len(w.Requests))
 	entries := make([]*wmslog.Entry, 0, len(w.Requests))
-	res, err := RunStream(w.Stream(), w.Population, w.Model.Horizon, cfg, rng, StreamSinks{
+	res, err := RunStream(w.Stream(), w.Population, w.Model.Horizon, cfg, seed, StreamSinks{
 		Transfer: func(t trace.Transfer) error {
 			transfers = append(transfers, t)
 			return nil
 		},
 		Entry: func(e *wmslog.Entry) error {
-			entries = append(entries, e)
+			cp := *e
+			entries = append(entries, &cp)
 			return nil
 		},
 	})
@@ -187,25 +189,71 @@ func ObjectURI(i int) string {
 }
 
 // concurrencyTracker tracks the number of active transfers as requests
-// are admitted in start order, using a min-heap of end times.
+// are admitted in start order. End times within the ring's window land
+// in a per-second count ring — O(1) per admission, amortized one ring
+// step per simulated second — and only the rare transfer longer than
+// the window (the lognormal tail) pays for a min-heap entry. The
+// admitted counts are exactly those of the classic end-time heap.
 type concurrencyTracker struct {
-	ends heapx.Heap[int64]
-	peak int
+	ring      []int32 // ends per second, indexed by end & ringMask
+	watermark int64   // latest admitted start; ring covers (watermark, watermark+len]
+	active    int
+	peak      int
+	started   bool
+	expired   int               // already-over admissions (end <= start), gone at the next admit
+	farEnds   heapx.Heap[int64] // ends beyond the ring window
 }
 
+// trackerRingSeconds is the ring window (power of two). The default
+// transfer-length tail puts ~0.06% of transfers beyond ~2.3 hours, so
+// almost every admission stays on the O(1) path.
+const trackerRingSeconds = 1 << 13
+
 func newConcurrencyTracker() *concurrencyTracker {
-	return &concurrencyTracker{ends: heapx.New(func(a, b int64) bool { return a < b })}
+	return &concurrencyTracker{
+		ring:    make([]int32, trackerRingSeconds),
+		farEnds: heapx.New(func(a, b int64) bool { return a < b }),
+	}
 }
 
 // admit registers a transfer [start, end) and returns the concurrency
-// level including it. Requests must arrive in non-decreasing start order.
+// level including it. Requests must arrive in non-decreasing start
+// order. Like the end-time heap this replaces, a transfer whose end is
+// at or before its own start (a degenerate zero-length request from an
+// external stream) is counted in its own admission and expires at the
+// very next one.
 func (c *concurrencyTracker) admit(start, end int64) int {
-	for c.ends.Len() > 0 && c.ends.Peek() <= start {
-		c.ends.Pop()
+	const mask = trackerRingSeconds - 1
+	if !c.started {
+		c.watermark = start
+		c.started = true
 	}
-	c.ends.Push(end)
-	if c.ends.Len() > c.peak {
-		c.peak = c.ends.Len()
+	// Expire everything that ended at or before the new start.
+	c.active -= c.expired
+	c.expired = 0
+	for c.watermark < start {
+		c.watermark++
+		slot := &c.ring[c.watermark&mask]
+		c.active -= int(*slot)
+		*slot = 0
 	}
-	return c.ends.Len()
+	for c.farEnds.Len() > 0 && c.farEnds.Peek() <= start {
+		c.farEnds.Pop()
+		c.active--
+	}
+	switch {
+	case end <= start:
+		// The heap would have popped this end at the next admission
+		// (any later start is >= this one); mirror that exactly.
+		c.expired++
+	case end-c.watermark <= trackerRingSeconds:
+		c.ring[end&mask]++
+	default:
+		c.farEnds.Push(end)
+	}
+	c.active++
+	if c.active > c.peak {
+		c.peak = c.active
+	}
+	return c.active
 }

@@ -3,6 +3,7 @@ package simulate
 import (
 	"math"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func TestRunProducesConsistentTraceAndEntries(t *testing.T) {
 	w := testWorkload(t, 1)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 0
-	res, err := Run(w, cfg, rand.New(rand.NewSource(2)))
+	res, err := Run(w, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestRunProducesConsistentTraceAndEntries(t *testing.T) {
 }
 
 func TestRunRejectsEmptyWorkload(t *testing.T) {
-	if _, err := Run(nil, DefaultConfig(), rand.New(rand.NewSource(1))); err == nil {
+	if _, err := Run(nil, DefaultConfig(), 1); err == nil {
 		t.Fatal("nil workload accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	w := testWorkload(t, 1)
 	cfg := DefaultConfig()
 	cfg.EncodingBps = 0
-	if _, err := Run(w, cfg, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := Run(w, cfg, 1); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
@@ -105,7 +106,7 @@ func TestBandwidthBimodal(t *testing.T) {
 	w := testWorkload(t, 3)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 0
-	res, err := Run(w, cfg, rand.New(rand.NewSource(4)))
+	res, err := Run(w, cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestServerStaysUnloaded(t *testing.T) {
 	w := testWorkload(t, 5)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 0
-	res, err := Run(w, cfg, rand.New(rand.NewSource(6)))
+	res, err := Run(w, cfg, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestSpanningInjection(t *testing.T) {
 	w := testWorkload(t, 7)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 100000 // 10% for a visible sample
-	res, err := Run(w, cfg, rand.New(rand.NewSource(8)))
+	res, err := Run(w, cfg, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestWriteLogsRoundTrip(t *testing.T) {
 	w := testWorkload(t, 9)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 0
-	res, err := Run(w, cfg, rand.New(rand.NewSource(10)))
+	res, err := Run(w, cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,6 +244,49 @@ func TestConcurrencyTracker(t *testing.T) {
 	}
 }
 
+// TestConcurrencyTrackerZeroDuration mirrors the legacy end-time-heap
+// semantics for degenerate transfers: an end at or before its own
+// start counts in its own admission and is gone by the next one, even
+// at the same start second.
+func TestConcurrencyTrackerZeroDuration(t *testing.T) {
+	c := newConcurrencyTracker()
+	if got := c.admit(10, 10); got != 1 {
+		t.Errorf("zero-duration admit: %d, want 1", got)
+	}
+	if got := c.admit(10, 12); got != 1 { // previous zero-dur expired
+		t.Errorf("same-start admit after zero-dur: %d, want 1", got)
+	}
+	if got := c.admit(11, 13); got != 2 {
+		t.Errorf("overlap admit: %d, want 2", got)
+	}
+	if c.peak != 2 {
+		t.Errorf("peak = %d, want 2", c.peak)
+	}
+}
+
+// TestConcurrencyTrackerLongTransfers drives ends beyond the ring
+// window onto the far-end heap and checks they expire exactly like
+// ring-resident ends.
+func TestConcurrencyTrackerLongTransfers(t *testing.T) {
+	c := newConcurrencyTracker()
+	const far = trackerRingSeconds * 3
+	if got := c.admit(0, far); got != 1 {
+		t.Errorf("far admit: %d", got)
+	}
+	if got := c.admit(1, 5); got != 2 {
+		t.Errorf("short under far: %d", got)
+	}
+	if got := c.admit(6, 10); got != 2 { // short one expired, far survives
+		t.Errorf("after short expiry: %d", got)
+	}
+	if got := c.admit(far, far+10); got != 1 { // far end expired at its end
+		t.Errorf("after far expiry: %d", got)
+	}
+	if c.peak != 2 {
+		t.Errorf("peak = %d, want 2", c.peak)
+	}
+}
+
 func TestObjectURI(t *testing.T) {
 	if ObjectURI(0) != "/live/feed1" || ObjectURI(1) != "/live/feed2" {
 		t.Error("URI naming changed")
@@ -250,7 +294,7 @@ func TestObjectURI(t *testing.T) {
 }
 
 func TestFeedSchedule(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := randv2.New(randv2.NewPCG(11, 0))
 	fs, err := NewFeedSchedule(0, 86400, 300, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -296,7 +340,7 @@ func TestFeedSchedule(t *testing.T) {
 }
 
 func TestNewFeedScheduleErrors(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
+	rng := randv2.New(randv2.NewPCG(12, 0))
 	if _, err := NewFeedSchedule(0, 0, 300, rng); err == nil {
 		t.Error("zero horizon: want error")
 	}

@@ -2,10 +2,11 @@ package simulate
 
 import (
 	"fmt"
+	"math/rand/v2"
+	"sync"
 	"time"
 
-	"math/rand"
-
+	"repro/internal/dist"
 	"repro/internal/gismo"
 	"repro/internal/heapx"
 	"repro/internal/trace"
@@ -13,11 +14,26 @@ import (
 	"repro/internal/workload"
 )
 
+// serveLane is the seed-derivation lane of the serve side, disjoint
+// from the generator's lanes 0–4 (internal/gismo), so a caller may
+// reuse one seed for generation and serving without correlating the
+// two. Every per-transfer draw comes from a splitmix stream keyed by
+// (seed, serveLane, event.Session, event.Seq) — a pure function of the
+// event identity. That is the sharded-serve contract: any partition of
+// events across serve lanes draws exactly the same values, so the log
+// bytes are invariant under the lane count (mirroring the generator's
+// shard-seeding scheme, DESIGN.md).
+const serveLane uint64 = 5
+
 // StreamSinks receives the simulator's output as it is produced.
 // Transfer is called in request-start order; Entry is called in log
 // order (non-decreasing timestamp — entries are released once no
 // still-active transfer can end earlier). Either may be nil. A sink
 // error aborts the run.
+//
+// The *wmslog.Entry passed to Entry is pooled: it is valid only for
+// the duration of the call and is recycled afterwards. A sink that
+// needs to retain it must copy the value.
 type StreamSinks struct {
 	Transfer func(trace.Transfer) error
 	Entry    func(*wmslog.Entry) error
@@ -37,18 +53,21 @@ type StreamResult struct {
 	TotalBytes int64
 }
 
-// RunStream serves an event stream, holding O(active transfers) of
-// state: the concurrency heap plus a reorder buffer of log entries for
-// transfers that have started but not yet ended (entries are
-// timestamped at transfer end, requests arrive in start order). It is
-// the single serving implementation — Run is a materializing wrapper
-// around it.
+// RunStream serves an event stream sequentially, holding O(active
+// transfers) of state: the concurrency heap plus a reorder buffer of
+// log entries for transfers that have started but not yet ended
+// (entries are timestamped at transfer end, requests arrive in start
+// order). Run is a materializing wrapper around it; RunStreamSharded
+// is the parallel form, byte-identical at any lane count.
 //
 // pop must cover every client ID in the stream; horizon bounds the
-// trace. Spanning-entry injection (cfg.SpanningPerMillion) becomes a
+// trace. seed drives every server-model draw deterministically:
+// per-transfer randomness is keyed by (seed, event identity), so equal
+// seeds give identical logs regardless of how the serving is
+// parallelized. Spanning-entry injection (cfg.SpanningPerMillion) is a
 // per-transfer Bernoulli draw at the same expected rate as the
-// materializing path's fixed count.
-func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Config, rng *rand.Rand, sinks StreamSinks) (*StreamResult, error) {
+// original materializing path's fixed count.
+func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Config, seed uint64, sinks StreamSinks) (*StreamResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,23 +79,15 @@ func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Co
 	}
 	defer workload.CloseStream(src)
 
+	// Single-goroutine serving recycles entries through a plain
+	// freelist; only the sharded path pays for sync.Pool.
+	pool := &freeEntryPool{}
+	es := newEventServer(&cfg, pop, horizon, seed, pool, sinks)
 	res := &StreamResult{}
 	concurrency := newConcurrencyTracker()
-	pending := newPendingEntries()
+	pending := newPendingEntries(pool)
 	var lastStart int64
-	injectP := float64(cfg.SpanningPerMillion) / 1_000_000
-
-	flushThrough := func(start int64, all bool) error {
-		for pending.heap.Len() > 0 && (all || pending.heap.Peek().end <= start) {
-			e := pending.pop()
-			if sinks.Entry != nil {
-				if err := sinks.Entry(e); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
+	var sv served
 
 	for {
 		ev, ok := src.Next()
@@ -90,47 +101,135 @@ func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Co
 			return nil, fmt.Errorf("%w: stream not in start order (%d after %d)", ErrBadConfig, ev.Start, lastStart)
 		}
 		lastStart = ev.Start
-		if err := flushThrough(ev.Start, false); err != nil {
+		if err := pending.flushThrough(ev.Start, false, sinks.Entry); err != nil {
 			return nil, err
 		}
 
-		client := &pop.Clients[ev.Client]
 		conc := concurrency.admit(ev.Start, ev.End())
-		cpu := cfg.cpuAt(conc, rng)
-		bw, congested := cfg.drawBandwidth(client.Access.Bps, rng)
-		payload := bw
-		if payload > cfg.EncodingBps {
-			payload = cfg.EncodingBps
-		}
-		bytes := payload * ev.Duration / 8
-		loss := cfg.drawLoss(ev.Duration, congested, rng)
+		es.serve(ev, conc, &sv)
 		res.Transfers++
-		res.TotalBytes += bytes
+		res.TotalBytes += sv.bytes
 
 		if sinks.Transfer != nil {
-			err := sinks.Transfer(trace.Transfer{
-				Client:    ev.Client,
-				IP:        client.Placement.IP,
-				AS:        client.Placement.ASIndex + 1,
-				Country:   client.Placement.Country,
-				Object:    ev.Object,
-				Start:     ev.Start,
-				Duration:  ev.Duration,
-				Bytes:     bytes,
-				Bandwidth: bw,
-				ServerCPU: cpu,
-			})
-			if err != nil {
+			if err := sinks.Transfer(sv.transfer); err != nil {
 				return nil, err
 			}
 		}
-		entry := &wmslog.Entry{
-			Timestamp:    cfg.Epoch.Add(time.Duration(ev.End()) * time.Second),
+		if sv.entry != nil {
+			pending.push(sv.end, sv.entry)
+			if sv.dup != nil {
+				pending.push(sv.end, sv.dup)
+			}
+		}
+		if sv.injected {
+			res.Injected++
+		}
+	}
+	if res.Transfers == 0 {
+		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
+	}
+	if err := pending.flushThrough(0, true, sinks.Entry); err != nil {
+		return nil, err
+	}
+	res.PeakConcurrency = concurrency.peak
+	return res, nil
+}
+
+// served is one transfer's complete serving outcome: the trace record,
+// the pooled log entry, and — for the rare Section 2.4 injection — a
+// corrupt spanning twin. transfer and entry are only populated when
+// the run has the corresponding sink.
+type served struct {
+	transfer trace.Transfer
+	entry    *wmslog.Entry
+	dup      *wmslog.Entry
+	end      int64
+	bytes    int64
+	injected bool
+}
+
+// eventServer computes one transfer's server-model outcome from the
+// event alone (plus the concurrency level the dispatcher observed).
+// Each serve reseeds a splitmix source with the event's derived seed,
+// so the draws are a pure function of (seed, Session, Seq) — the
+// property both the sequential and the sharded serve paths rely on for
+// byte-identical logs. Not safe for concurrent use; sharded serving
+// gives each lane its own eventServer over the same seed.
+type eventServer struct {
+	cfg          *Config
+	pop          *gismo.Population
+	root         uint64
+	src          *dist.SplitMix64
+	rng          *rand.Rand
+	uris         []string // lazily built object-URI cache, shared by entries
+	horizon      int64
+	injectP      float64
+	pool         entryPool
+	wantTransfer bool
+	wantEntry    bool
+}
+
+func newEventServer(cfg *Config, pop *gismo.Population, horizon int64, seed uint64, pool entryPool, sinks StreamSinks) *eventServer {
+	src := dist.NewSplitMix64(0)
+	return &eventServer{
+		cfg:          cfg,
+		pop:          pop,
+		root:         dist.Mix64(seed, serveLane),
+		src:          src,
+		rng:          rand.New(src),
+		horizon:      horizon,
+		injectP:      float64(cfg.SpanningPerMillion) / 1_000_000,
+		pool:         pool,
+		wantTransfer: sinks.Transfer != nil,
+		wantEntry:    sinks.Entry != nil,
+	}
+}
+
+// serve computes the outcome of one event at the given concurrency
+// level into *sv (overwritten entirely; an out-param so the hot loop
+// copies no large struct). The draw order (CPU, bandwidth, loss,
+// injection) is fixed — it is part of the deterministic-serve
+// contract — and every draw is made regardless of which sinks exist,
+// so the outcome never depends on who is listening. Only the
+// materialization of the trace record and the log entry is skipped
+// for absent sinks.
+func (es *eventServer) serve(ev workload.Event, conc int, sv *served) {
+	es.src.Seed(int64(dist.Mix64(dist.Mix64(es.root, uint64(ev.Session)), uint64(ev.Seq))))
+	client := &es.pop.Clients[ev.Client]
+	cfg := es.cfg
+	cpu := cfg.cpuAt(conc, es.rng)
+	bw, congested := cfg.drawBandwidth(client.Access.Bps, es.rng)
+	payload := bw
+	if payload > cfg.EncodingBps {
+		payload = cfg.EncodingBps
+	}
+	bytes := payload * ev.Duration / 8
+	loss := cfg.drawLoss(ev.Duration, congested, es.rng)
+
+	*sv = served{end: ev.End(), bytes: bytes}
+	if es.wantTransfer {
+		sv.transfer = trace.Transfer{
+			Client:    ev.Client,
+			IP:        client.Placement.IP,
+			AS:        client.Placement.ASIndex + 1,
+			Country:   client.Placement.Country,
+			Object:    ev.Object,
+			Start:     ev.Start,
+			Duration:  ev.Duration,
+			Bytes:     bytes,
+			Bandwidth: bw,
+			ServerCPU: cpu,
+		}
+	}
+	if es.wantEntry {
+		entry := es.pool.get()
+		*entry = wmslog.Entry{
+			Timestamp:    cfg.Epoch.Add(time.Duration(sv.end) * time.Second),
 			ClientIP:     client.Placement.IP,
 			PlayerID:     client.PlayerID,
 			ClientOS:     client.OS,
 			ClientCPU:    client.CPU,
-			URIStem:      ObjectURI(ev.Object),
+			URIStem:      es.uri(ev.Object),
 			Duration:     ev.Duration,
 			Bytes:        bytes,
 			AvgBandwidth: bw,
@@ -141,28 +240,76 @@ func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Co
 			ASNumber:     client.Placement.ASIndex + 1,
 			Country:      client.Placement.Country,
 		}
-		pending.push(ev.End(), entry)
+		sv.entry = entry
+	}
 
-		// Section 2.4 multi-harvest artifacts: with probability
-		// SpanningPerMillion/1e6 the entry gains a corrupt twin whose
-		// duration exceeds the trace period.
-		if injectP > 0 && rng.Float64() < injectP {
-			dup := *entry
-			dup.Duration = horizon + int64(rng.Intn(1_000_000)) + 1
-			dup.Bytes = dup.Duration * 1000
-			pending.push(ev.End(), &dup)
-			res.Injected++
+	// Section 2.4 multi-harvest artifacts: with probability
+	// SpanningPerMillion/1e6 the entry gains a corrupt twin whose
+	// duration exceeds the trace period.
+	if es.injectP > 0 && es.rng.Float64() < es.injectP {
+		sv.injected = true
+		dur := es.horizon + int64(es.rng.IntN(1_000_000)) + 1
+		if sv.entry != nil {
+			dup := es.pool.get()
+			*dup = *sv.entry
+			dup.Duration = dur
+			dup.Bytes = dur * 1000
+			sv.dup = dup
 		}
 	}
-	if res.Transfers == 0 {
-		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
-	}
-	if err := flushThrough(0, true); err != nil {
-		return nil, err
-	}
-	res.PeakConcurrency = concurrency.peak
-	return res, nil
 }
+
+// uri returns the cached URI string for an object index, so the hot
+// path never re-renders it (entries share the cached string).
+func (es *eventServer) uri(obj int) string {
+	for obj >= len(es.uris) {
+		es.uris = append(es.uris, "")
+	}
+	if es.uris[obj] == "" {
+		es.uris[obj] = ObjectURI(obj)
+	}
+	return es.uris[obj]
+}
+
+// entryPool recycles wmslog.Entry values between the serve workers and
+// the sink: a transfer's entry is recycled as soon as the Entry sink
+// returns, so a streamed run allocates entries proportional to the
+// reorder buffer's high-water mark (~peak concurrency), not to the
+// transfer count.
+type entryPool interface {
+	get() *wmslog.Entry
+	put(*wmslog.Entry)
+}
+
+// freeEntryPool is the single-goroutine pool: a plain LIFO freelist,
+// no synchronization.
+type freeEntryPool struct {
+	free []*wmslog.Entry
+}
+
+func (ep *freeEntryPool) get() *wmslog.Entry {
+	if n := len(ep.free); n > 0 {
+		e := ep.free[n-1]
+		ep.free = ep.free[:n-1]
+		return e
+	}
+	return new(wmslog.Entry)
+}
+
+func (ep *freeEntryPool) put(e *wmslog.Entry) { ep.free = append(ep.free, e) }
+
+// syncEntryPool is the cross-goroutine pool the sharded path uses:
+// lane workers get, the collector puts after the sink returns.
+type syncEntryPool struct {
+	p sync.Pool
+}
+
+func newSyncEntryPool() *syncEntryPool {
+	return &syncEntryPool{p: sync.Pool{New: func() any { return new(wmslog.Entry) }}}
+}
+
+func (ep *syncEntryPool) get() *wmslog.Entry  { return ep.p.Get().(*wmslog.Entry) }
+func (ep *syncEntryPool) put(e *wmslog.Entry) { ep.p.Put(e) }
 
 // pendingEntries is the reorder buffer of not-yet-emitted log entries,
 // a min-heap on (transfer end, admission order). The secondary key
@@ -171,6 +318,7 @@ func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Co
 type pendingEntries struct {
 	heap heapx.Heap[pendingEntry]
 	seq  int64
+	pool entryPool
 }
 
 type pendingEntry struct {
@@ -179,13 +327,13 @@ type pendingEntry struct {
 	entry *wmslog.Entry
 }
 
-func newPendingEntries() pendingEntries {
+func newPendingEntries(pool entryPool) pendingEntries {
 	return pendingEntries{heap: heapx.New(func(a, b pendingEntry) bool {
 		if a.end != b.end {
 			return a.end < b.end
 		}
 		return a.seq < b.seq
-	})}
+	}), pool: pool}
 }
 
 func (p *pendingEntries) push(end int64, e *wmslog.Entry) {
@@ -195,4 +343,20 @@ func (p *pendingEntries) push(end int64, e *wmslog.Entry) {
 
 func (p *pendingEntries) pop() *wmslog.Entry {
 	return p.heap.Pop().entry
+}
+
+// flushThrough emits (and recycles) every buffered entry whose end
+// time is at or before the start watermark — no still-active transfer
+// can end earlier — or everything when all is set.
+func (p *pendingEntries) flushThrough(start int64, all bool, sink func(*wmslog.Entry) error) error {
+	for p.heap.Len() > 0 && (all || p.heap.Peek().end <= start) {
+		e := p.pop()
+		if sink != nil {
+			if err := sink(e); err != nil {
+				return err
+			}
+		}
+		p.pool.put(e)
+	}
+	return nil
 }

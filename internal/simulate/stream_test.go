@@ -12,22 +12,27 @@ import (
 )
 
 // TestRunStreamMatchesRun pins the wrapper to the stream: collecting
-// RunStream's sinks must reproduce Run exactly, entry for entry.
+// RunStream's sinks must reproduce Run exactly, entry for entry. The
+// entry sink copies, per the StreamSinks pooling contract.
 func TestRunStreamMatchesRun(t *testing.T) {
 	w := testWorkload(t, 13)
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 1000
 
-	batch, err := Run(w, cfg, rand.New(rand.NewSource(5)))
+	batch, err := Run(w, cfg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var transfers []trace.Transfer
 	var entries []*wmslog.Entry
-	res, err := RunStream(w.Stream(), w.Population, w.Model.Horizon, cfg, rand.New(rand.NewSource(5)), StreamSinks{
+	res, err := RunStream(w.Stream(), w.Population, w.Model.Horizon, cfg, 5, StreamSinks{
 		Transfer: func(tr trace.Transfer) error { transfers = append(transfers, tr); return nil },
-		Entry:    func(e *wmslog.Entry) error { entries = append(entries, e); return nil },
+		Entry: func(e *wmslog.Entry) error {
+			cp := *e
+			entries = append(entries, &cp)
+			return nil
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,15 +70,14 @@ func TestRunStreamMatchesRun(t *testing.T) {
 func TestRunStreamValidatesInput(t *testing.T) {
 	w := testWorkload(t, 2)
 	cfg := DefaultConfig()
-	rng := rand.New(rand.NewSource(1))
 
-	if _, err := RunStream(w.Stream(), nil, w.Model.Horizon, cfg, rng, StreamSinks{}); err == nil {
+	if _, err := RunStream(w.Stream(), nil, w.Model.Horizon, cfg, 1, StreamSinks{}); err == nil {
 		t.Error("nil population accepted")
 	}
-	if _, err := RunStream(w.Stream(), w.Population, 0, cfg, rng, StreamSinks{}); err == nil {
+	if _, err := RunStream(w.Stream(), w.Population, 0, cfg, 1, StreamSinks{}); err == nil {
 		t.Error("zero horizon accepted")
 	}
-	if _, err := RunStream(workload.NewSliceStream(nil), w.Population, w.Model.Horizon, cfg, rng, StreamSinks{}); err == nil {
+	if _, err := RunStream(workload.NewSliceStream(nil), w.Population, w.Model.Horizon, cfg, 1, StreamSinks{}); err == nil {
 		t.Error("empty stream accepted")
 	}
 	// Out-of-order stream must be rejected, not silently mis-served.
@@ -81,14 +85,14 @@ func TestRunStreamValidatesInput(t *testing.T) {
 		{Session: 0, Start: 100, Duration: 1},
 		{Session: 1, Start: 50, Duration: 1},
 	})
-	if _, err := RunStream(bad, w.Population, w.Model.Horizon, cfg, rng, StreamSinks{}); err == nil {
+	if _, err := RunStream(bad, w.Population, w.Model.Horizon, cfg, 1, StreamSinks{}); err == nil {
 		t.Error("out-of-order stream accepted")
 	}
 	// Client outside the population must be rejected.
 	escape := workload.NewSliceStream([]workload.Event{
 		{Session: 0, Client: w.Population.Size(), Start: 1, Duration: 1},
 	})
-	if _, err := RunStream(escape, w.Population, w.Model.Horizon, cfg, rng, StreamSinks{}); err == nil {
+	if _, err := RunStream(escape, w.Population, w.Model.Horizon, cfg, 1, StreamSinks{}); err == nil {
 		t.Error("client outside population accepted")
 	}
 }
@@ -128,8 +132,7 @@ func TestRunStreamMemoryBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
-	pop, err := gismo.NewPopulation(200, m.Topology, rng)
+	pop, err := gismo.NewPopulation(200, m.Topology, rand.New(rand.NewSource(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +146,7 @@ func TestRunStreamMemoryBounded(t *testing.T) {
 	cfg.SpanningPerMillion = 0
 	src := &syntheticStream{n: n, clients: pop.Size()}
 	var served int
-	res, err := RunStream(src, pop, int64(n), cfg, rng, StreamSinks{
+	res, err := RunStream(src, pop, int64(n), cfg, 3, StreamSinks{
 		Entry: func(e *wmslog.Entry) error { served++; return nil },
 	})
 	if err != nil {
@@ -166,7 +169,7 @@ func TestRunStreamMemoryBounded(t *testing.T) {
 }
 
 func TestPendingEntriesOrdering(t *testing.T) {
-	p := newPendingEntries()
+	p := newPendingEntries(&freeEntryPool{})
 	ends := []int64{9, 3, 7, 3, 11, 1, 3}
 	for i, e := range ends {
 		p.push(e, &wmslog.Entry{Duration: int64(i)})

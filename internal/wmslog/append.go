@@ -1,0 +1,393 @@
+package wmslog
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// AppendEntry appends e rendered as one log line (no trailing newline)
+// to b and returns the extended slice. The output is byte-identical to
+// the legacy fmt.Fprintf encoder (marshalLine) for every valid entry —
+// the equivalence the property tests in append_test.go pin — but does
+// not allocate: all numeric fields go through strconv.Append*, the
+// timestamp is rendered digit by digit, and string fields are copied
+// straight from the entry.
+//
+// This is the hot-path encoder: Writer, SyncWriter and DailyWriter all
+// route through it with a reused scratch buffer, so the serve pipeline
+// writes log lines without any per-entry allocation.
+func AppendEntry(b []byte, e *Entry) []byte {
+	b = appendDate(b, e.Timestamp)
+	b = append(b, ' ')
+	b = appendClock(b, e.Timestamp)
+	b = append(b, ' ')
+	b = appendRawField(b, e.ClientIP)
+	b = append(b, ' ')
+	b = appendRawField(b, e.PlayerID)
+	b = append(b, ' ')
+	b = appendDashField(b, e.ClientOS)
+	b = append(b, ' ')
+	b = appendDashField(b, e.ClientCPU)
+	b = append(b, ' ')
+	b = appendRawField(b, e.URIStem)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, e.Duration, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, e.Bytes, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, e.AvgBandwidth, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, e.PacketsLost, 10)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, e.ServerCPU, 'f', 2, 64)
+	b = append(b, ' ')
+	b = appendDashField(b, e.Referer)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(e.Status), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(e.ASNumber), 10)
+	b = append(b, ' ')
+	b = appendDashField(b, e.Country)
+	return b
+}
+
+// appendDate renders t's date as YYYY-MM-DD, matching Format("2006-01-02").
+func appendDate(b []byte, t time.Time) []byte {
+	y, m, d := t.Date()
+	b = appendPadInt(b, y, 4)
+	b = append(b, '-')
+	b = appendPadInt(b, int(m), 2)
+	b = append(b, '-')
+	return appendPadInt(b, d, 2)
+}
+
+// appendClock renders t's time of day as HH:MM:SS, matching
+// Format("15:04:05") at the log's 1-second resolution.
+func appendClock(b []byte, t time.Time) []byte {
+	h, m, s := t.Clock()
+	b = appendPadInt(b, h, 2)
+	b = append(b, ':')
+	b = appendPadInt(b, m, 2)
+	b = append(b, ':')
+	return appendPadInt(b, s, 2)
+}
+
+// appendPadInt appends v left-padded with zeros to the given width,
+// like time.Time.Format's fixed-width verbs (a wider value keeps all
+// its digits; negatives fall back to plain formatting).
+func appendPadInt(b []byte, v, width int) []byte {
+	if v < 0 {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	var digits [20]byte
+	n := 0
+	for x := v; x > 0; x /= 10 {
+		digits[n] = byte('0' + x%10)
+		n++
+	}
+	if n == 0 {
+		digits[0], n = '0', 1
+	}
+	for i := n; i < width; i++ {
+		b = append(b, '0')
+	}
+	for i := n - 1; i >= 0; i-- {
+		b = append(b, digits[i])
+	}
+	return b
+}
+
+// appendRawField copies a mandatory field (validated non-empty and
+// space-free) verbatim.
+func appendRawField(b []byte, s string) []byte {
+	return append(b, s...)
+}
+
+// appendDashField is the append form of dashIfEmpty: "-" for the empty
+// string, spaces encoded as underscores otherwise.
+func appendDashField(b []byte, s string) []byte {
+	if s == "" {
+		return append(b, '-')
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return b
+}
+
+// ParseAppend is the decoding twin of AppendEntry: it parses one
+// canonical data line (exactly 16 single-space-separated columns in
+// Fields order, 2-decimal s-cpu-util) into *e, overwriting every field.
+// It allocates only the retained string fields — timestamps and all
+// numeric columns are decoded in place, with no scratch split or
+// sub-string slices — so it is the fast path Parser.Next tries before
+// falling back to the tolerant legacy column splitter (which accepts
+// repeated whitespace and arbitrary float formats).
+//
+// The line must not include the trailing newline.
+func ParseAppend(e *Entry, line []byte) error {
+	cols := fieldSplitter{line: line}
+	date, ok := cols.next()
+	clock, ok2 := cols.next()
+	if !ok || !ok2 {
+		return fmt.Errorf("%w: truncated line", ErrFormat)
+	}
+	ts, err := parseTimestamp(date, clock)
+	if err != nil {
+		return err
+	}
+	e.Timestamp = ts
+	if e.ClientIP, ok = cols.nextString(); !ok {
+		return fmt.Errorf("%w: missing c-ip", ErrFormat)
+	}
+	if e.PlayerID, ok = cols.nextString(); !ok {
+		return fmt.Errorf("%w: missing c-playerid", ErrFormat)
+	}
+	if e.ClientOS, ok = cols.nextUndashed(); !ok {
+		return fmt.Errorf("%w: missing c-os", ErrFormat)
+	}
+	if e.ClientCPU, ok = cols.nextUndashed(); !ok {
+		return fmt.Errorf("%w: missing c-cpu", ErrFormat)
+	}
+	if e.URIStem, ok = cols.nextString(); !ok {
+		return fmt.Errorf("%w: missing cs-uri-stem", ErrFormat)
+	}
+	if e.Duration, err = cols.nextInt("x-duration"); err != nil {
+		return err
+	}
+	if e.Bytes, err = cols.nextInt("sc-bytes"); err != nil {
+		return err
+	}
+	if e.AvgBandwidth, err = cols.nextInt("avgbandwidth"); err != nil {
+		return err
+	}
+	if e.PacketsLost, err = cols.nextInt("c-pkts-lost"); err != nil {
+		return err
+	}
+	if e.ServerCPU, err = cols.nextFixed2("s-cpu-util"); err != nil {
+		return err
+	}
+	if e.Referer, ok = cols.nextUndashed(); !ok {
+		return fmt.Errorf("%w: missing cs(Referer)", ErrFormat)
+	}
+	status, err := cols.nextInt("sc-status")
+	if err != nil {
+		return err
+	}
+	e.Status = int(status)
+	asn, err := cols.nextInt("s-as")
+	if err != nil {
+		return err
+	}
+	e.ASNumber = int(asn)
+	if e.Country, ok = cols.nextUndashed(); !ok {
+		return fmt.Errorf("%w: missing s-country", ErrFormat)
+	}
+	if !cols.done() {
+		return fmt.Errorf("%w: trailing columns", ErrFormat)
+	}
+	return e.Validate()
+}
+
+// fieldSplitter walks single-space-separated columns without allocating.
+type fieldSplitter struct {
+	line []byte
+	pos  int
+}
+
+// next returns the next column. It is deliberately stricter than the
+// tolerant splitter: control bytes (tab included) and non-ASCII bytes
+// fail the column, sending the line to the legacy path — the fast
+// path must never *accept* a line `strings.Fields` would split
+// differently (tabs, unicode whitespace), and over-rejecting is safe
+// because rejection only means falling back.
+func (f *fieldSplitter) next() ([]byte, bool) {
+	if f.pos >= len(f.line) {
+		return nil, false
+	}
+	start := f.pos
+	for f.pos < len(f.line) && f.line[f.pos] != ' ' {
+		if c := f.line[f.pos]; c < 0x21 || c >= 0x80 {
+			return nil, false
+		}
+		f.pos++
+	}
+	col := f.line[start:f.pos]
+	if f.pos < len(f.line) {
+		f.pos++ // skip the single separator
+	}
+	if len(col) == 0 {
+		return nil, false // empty column: doubled space, not canonical
+	}
+	return col, true
+}
+
+func (f *fieldSplitter) done() bool { return f.pos >= len(f.line) }
+
+func (f *fieldSplitter) nextString() (string, bool) {
+	col, ok := f.next()
+	if !ok {
+		return "", false
+	}
+	return string(col), true
+}
+
+// nextUndashed reads a dash-encoded optional field: "-" decodes to the
+// empty string without allocating; underscores decode back to spaces.
+func (f *fieldSplitter) nextUndashed() (string, bool) {
+	col, ok := f.next()
+	if !ok {
+		return "", false
+	}
+	if len(col) == 1 && col[0] == '-' {
+		return "", true
+	}
+	s := make([]byte, len(col))
+	for i, c := range col {
+		if c == '_' {
+			c = ' '
+		}
+		s[i] = c
+	}
+	return string(s), true
+}
+
+func (f *fieldSplitter) nextInt(field string) (int64, error) {
+	col, ok := f.next()
+	if !ok {
+		return 0, fmt.Errorf("%w: missing %s", ErrFormat, field)
+	}
+	v, err := atoi64(col)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s %q", ErrFormat, field, col)
+	}
+	return v, nil
+}
+
+// nextFixed2 parses the fixed 2-decimal float the encoder emits
+// ("%.2f"). Anything else — scientific notation, other precisions,
+// magnitudes beyond exact centi-unit range — fails, sending the line
+// down the legacy strconv.ParseFloat path. The value is computed as
+// one correctly-rounded division of exact integers, so it is
+// bit-identical to what strconv.ParseFloat returns for the same text.
+func (f *fieldSplitter) nextFixed2(field string) (float64, error) {
+	col, ok := f.next()
+	if !ok {
+		return 0, fmt.Errorf("%w: missing %s", ErrFormat, field)
+	}
+	if len(col) < 4 || col[len(col)-3] != '.' {
+		return 0, fmt.Errorf("%w: %s %q not fixed-point", ErrFormat, field, col)
+	}
+	whole, err := atoi64(col[:len(col)-3])
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s %q", ErrFormat, field, col)
+	}
+	d1, d2 := col[len(col)-2], col[len(col)-1]
+	if d1 < '0' || d1 > '9' || d2 < '0' || d2 > '9' {
+		return 0, fmt.Errorf("%w: %s %q", ErrFormat, field, col)
+	}
+	const maxExact = (1 << 53) / 100 // centi-units stay exactly representable
+	if whole > maxExact || whole < -maxExact {
+		return 0, fmt.Errorf("%w: %s %q out of fast-path range", ErrFormat, field, col)
+	}
+	centi := whole*100 + int64(int(d1-'0')*10+int(d2-'0'))
+	if col[0] == '-' {
+		centi = whole*100 - int64(int(d1-'0')*10+int(d2-'0'))
+	}
+	return float64(centi) / 100, nil
+}
+
+// atoi64 is a strict base-10 integer parse over bytes (optional
+// leading minus, digits only), avoiding the string conversion strconv
+// needs. Overflow is an error, like strconv.ParseInt's ErrRange —
+// never a silent wrap.
+func atoi64(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, ErrFormat
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i++
+		if len(b) == 1 {
+			return 0, ErrFormat
+		}
+	}
+	limit := uint64(1<<63 - 1) // MaxInt64; MinInt64's magnitude when negative
+	if neg {
+		limit = 1 << 63
+	}
+	var v uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, ErrFormat
+		}
+		d := uint64(c - '0')
+		if v > (limit-d)/10 { // overflow: error like strconv's ErrRange
+			return 0, ErrFormat
+		}
+		v = v*10 + d
+	}
+	if neg {
+		if v == 1<<63 {
+			return -1 << 63, nil
+		}
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseTimestamp decodes "YYYY-MM-DD" + "HH:MM:SS" without the layout
+// machinery of time.Parse. Like time.Parse it yields UTC and rejects
+// out-of-range components.
+func parseTimestamp(date, clock []byte) (time.Time, error) {
+	if len(date) != 10 || date[4] != '-' || date[7] != '-' ||
+		len(clock) != 8 || clock[2] != ':' || clock[5] != ':' {
+		return time.Time{}, fmt.Errorf("%w: timestamp %q %q", ErrFormat, date, clock)
+	}
+	y, err1 := atoiFixed(date[0:4])
+	mo, err2 := atoiFixed(date[5:7])
+	d, err3 := atoiFixed(date[8:10])
+	h, err4 := atoiFixed(clock[0:2])
+	mi, err5 := atoiFixed(clock[3:5])
+	s, err6 := atoiFixed(clock[6:8])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil ||
+		mo < 1 || mo > 12 || d < 1 || d > daysIn(y, mo) || h > 23 || mi > 59 || s > 59 {
+		return time.Time{}, fmt.Errorf("%w: timestamp %q %q", ErrFormat, date, clock)
+	}
+	return time.Date(y, time.Month(mo), d, h, mi, s, 0, time.UTC), nil
+}
+
+// atoiFixed parses an all-digit field.
+func atoiFixed(b []byte) (int, error) {
+	v := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, ErrFormat
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, nil
+}
+
+// daysIn mirrors time.Date's normalization boundary so the fast path
+// rejects exactly the dates time.Parse would reject.
+func daysIn(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	}
+	if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+		return 29
+	}
+	return 28
+}

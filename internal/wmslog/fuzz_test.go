@@ -1,0 +1,94 @@
+package wmslog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzAppendEntryRoundTrip fuzzes the encode/decode pair over
+// arbitrary field values: any structurally valid entry must encode
+// identically to the legacy Fprintf path, parse back through
+// ParseAppend, and re-encode to the same bytes.
+func FuzzAppendEntryRoundTrip(f *testing.F) {
+	f.Add(int64(1010275384), "10.0.0.1", "player-1", "Windows 98", "Pentium III",
+		"/live/feed1", int64(1742), int64(23953750), int64(110000), int64(3),
+		int64(437), "http://show.example.br/aovivo", 200, 1916, "BR")
+	f.Add(int64(0), "a", "b", "", "", "/", int64(0), int64(0), int64(0), int64(0),
+		int64(0), "", 0, 0, "")
+	f.Add(int64(1<<40), "x", "y", "has space", "-", "/u", int64(1<<60), int64(1<<60),
+		int64(1<<60), int64(1<<60), int64(10000), "ref", -5, -6, "B R")
+
+	f.Fuzz(func(t *testing.T, unix int64, ip, player, osName, cpu, uri string,
+		duration, bytesServed, bw, lost int64, cpuCenti int64,
+		referer string, status, asn int, country string) {
+		e := &Entry{
+			// Clamp into the 4-digit-year range the wire format (and
+			// time.Parse round-tripping) covers.
+			Timestamp:    time.Unix(((unix%253402300800)+253402300800)%253402300800, 0).UTC(),
+			ClientIP:     ip,
+			PlayerID:     player,
+			ClientOS:     osName,
+			ClientCPU:    cpu,
+			URIStem:      uri,
+			Duration:     duration,
+			Bytes:        bytesServed,
+			AvgBandwidth: bw,
+			PacketsLost:  lost,
+			ServerCPU:    float64(((cpuCenti%10001)+10001)%10001) / 100,
+			Referer:      referer,
+			Status:       status,
+			ASNumber:     asn,
+			Country:      country,
+		}
+		if err := e.Validate(); err != nil {
+			t.Skip() // fuzzer fabricated an entry the writer would refuse
+		}
+
+		line := AppendEntry(nil, e)
+
+		// Property 1: byte-identical to the legacy encoder.
+		var legacy strings.Builder
+		e.marshalLine(&legacy)
+		if string(line) != legacy.String() {
+			t.Fatalf("encoders disagree\nappend: %q\nlegacy: %q", line, legacy.String())
+		}
+
+		// Property 2: ParseAppend accepts every encoder-produced line
+		// made of the fast path's byte alphabet and re-encodes it to
+		// the same bytes. Lines carrying control or non-ASCII bytes in
+		// field content are deliberately deferred to the tolerant
+		// legacy parser, so a rejection is only legal for those.
+		var back Entry
+		if err := ParseAppend(&back, line); err != nil {
+			for _, c := range line {
+				if c != ' ' && (c < 0x21 || c >= 0x80) {
+					return // justified conservative rejection
+				}
+			}
+			t.Fatalf("fast path rejected all-ASCII canonical line %q: %v", line, err)
+		}
+		if got := AppendEntry(nil, &back); string(got) != string(line) {
+			t.Fatalf("round trip not a fixpoint\nfirst:  %q\nsecond: %q", line, got)
+		}
+
+		// Property 3: non-float fields survive exactly, modulo the
+		// documented underscore/space folding of optional fields.
+		fold := func(s string) string {
+			if s == "-" {
+				return "" // a literal dash reads back as absent, like empty
+			}
+			return strings.ReplaceAll(s, "_", " ")
+		}
+		if back.ClientIP != e.ClientIP || back.PlayerID != e.PlayerID ||
+			back.URIStem != e.URIStem || back.Status != e.Status ||
+			back.ASNumber != e.ASNumber || back.Duration != e.Duration ||
+			back.Bytes != e.Bytes || back.AvgBandwidth != e.AvgBandwidth ||
+			back.PacketsLost != e.PacketsLost ||
+			!back.Timestamp.Equal(e.Timestamp) ||
+			back.ClientOS != fold(e.ClientOS) || back.ClientCPU != fold(e.ClientCPU) ||
+			back.Referer != fold(e.Referer) || back.Country != fold(e.Country) {
+			t.Fatalf("fields differ\nin:  %+v\nout: %+v", e, back)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package wmslog
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -45,22 +46,28 @@ func NewParser(r io.Reader) *Parser {
 func (p *Parser) Stats() ParseStats { return p.stats }
 
 // Next returns the next entry, or io.EOF when the stream is exhausted.
+//
+// Data lines go through the ParseAppend fast path first — the strict
+// canonical format the encoder emits, decoded without scratch
+// allocations — and only fall back to the tolerant legacy column
+// splitter (repeated whitespace, arbitrary float formats) when the
+// fast path rejects them.
 func (p *Parser) Next() (*Entry, error) {
 	for p.scanner.Scan() {
 		p.stats.Lines++
-		line := strings.TrimSpace(p.scanner.Text())
-		if line == "" {
+		raw := bytes.TrimSpace(p.scanner.Bytes())
+		if len(raw) == 0 {
 			p.stats.Comments++
 			continue
 		}
-		if strings.HasPrefix(line, "#") {
+		if raw[0] == '#' {
 			p.stats.Comments++
-			if strings.HasPrefix(line, "#Fields:") {
-				p.fields = strings.Fields(strings.TrimPrefix(line, "#Fields:"))
+			if rest, ok := bytes.CutPrefix(raw, []byte("#Fields:")); ok {
+				p.fields = strings.Fields(string(rest))
 			}
 			continue
 		}
-		e, err := p.parseLine(line)
+		e, err := p.parseData(raw)
 		if err != nil {
 			p.stats.Malformed++
 			if p.Tolerant {
@@ -77,12 +84,22 @@ func (p *Parser) Next() (*Entry, error) {
 	return nil, io.EOF
 }
 
-// parseLine decodes one data line according to the canonical Fields order.
-// A #Fields header with a different column set is rejected up front.
-func (p *Parser) parseLine(line string) (*Entry, error) {
+// parseData decodes one data line: canonical fast path, then the
+// tolerant legacy splitter.
+func (p *Parser) parseData(raw []byte) (*Entry, error) {
 	if p.fields != nil && !sameFields(p.fields, Fields) {
 		return nil, fmt.Errorf("%w: unsupported field set %v", ErrFormat, p.fields)
 	}
+	e := &Entry{}
+	if err := ParseAppend(e, raw); err == nil {
+		return e, nil
+	}
+	return p.parseLine(string(raw))
+}
+
+// parseLine decodes one data line according to the canonical Fields
+// order with the tolerant legacy splitter.
+func (p *Parser) parseLine(line string) (*Entry, error) {
 	cols := strings.Fields(line)
 	if len(cols) != len(Fields) {
 		return nil, fmt.Errorf("%w: %d columns, want %d", ErrFormat, len(cols), len(Fields))

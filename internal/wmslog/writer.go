@@ -22,14 +22,16 @@ type Writer struct {
 	w           *bufio.Writer
 	wroteHeader bool
 	count       int64
+	buf         []byte // per-writer scratch line, reused across entries
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
 }
 
-// Write validates and appends one entry.
+// Write validates and appends one entry. The entry is fully rendered
+// before the call returns; Writer never retains it.
 func (lw *Writer) Write(e *Entry) error {
 	if err := e.Validate(); err != nil {
 		return err
@@ -40,10 +42,9 @@ func (lw *Writer) Write(e *Entry) error {
 		}
 		lw.wroteHeader = true
 	}
-	var b strings.Builder
-	e.marshalLine(&b)
-	b.WriteByte('\n')
-	if _, err := lw.w.WriteString(b.String()); err != nil {
+	lw.buf = AppendEntry(lw.buf[:0], e)
+	lw.buf = append(lw.buf, '\n')
+	if _, err := lw.w.Write(lw.buf); err != nil {
 		return fmt.Errorf("wmslog: write entry: %w", err)
 	}
 	lw.count++
@@ -117,7 +118,7 @@ type DailyWriter struct {
 	Dir string
 
 	cur     *os.File
-	curDay  string
+	curDay  int // packed y*10000 + m*100 + d of the open file, 0 when none
 	writer  *Writer
 	files   []string
 	entries int64
@@ -131,11 +132,14 @@ func NewDailyWriter(dir string) (*DailyWriter, error) {
 	return &DailyWriter{Dir: dir}, nil
 }
 
-// Write routes the entry to the file for its calendar day.
+// Write routes the entry to the file for its calendar day. The day
+// check is a packed-integer compare, so the hot path formats no date
+// string — only an actual rotation (once per simulated day) does.
 func (dw *DailyWriter) Write(e *Entry) error {
-	day := e.Timestamp.Format("2006-01-02")
+	y, m, d := e.Timestamp.Date()
+	day := y*10000 + int(m)*100 + d
 	if day != dw.curDay {
-		if err := dw.rotate(day); err != nil {
+		if err := dw.rotate(day, e.Timestamp); err != nil {
 			return err
 		}
 	}
@@ -146,11 +150,11 @@ func (dw *DailyWriter) Write(e *Entry) error {
 	return nil
 }
 
-func (dw *DailyWriter) rotate(day string) error {
+func (dw *DailyWriter) rotate(day int, ts time.Time) error {
 	if err := dw.closeCurrent(); err != nil {
 		return err
 	}
-	name := filepath.Join(dw.Dir, "wms-"+day+".log")
+	name := filepath.Join(dw.Dir, "wms-"+ts.Format("2006-01-02")+".log")
 	f, err := os.Create(name)
 	if err != nil {
 		return fmt.Errorf("wmslog: rotate to %s: %w", name, err)

@@ -7,9 +7,11 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/gismo"
 	"repro/internal/simulate"
+	"repro/internal/wmslog"
 	"repro/internal/workload"
 
 	"math/rand"
@@ -70,25 +72,103 @@ func BenchmarkStreamingGenerateMaterialized(b *testing.B) {
 	}
 }
 
-// BenchmarkStreamingServe times the full streamed pipeline: sharded
-// generation into the streaming simulator with counting sinks.
+// BenchmarkStreamingServe times the full streamed pipeline: 8-shard
+// generation into the sequential streaming simulator with a counting
+// entry sink, so the whole entry/reorder path stays hot.
 func BenchmarkStreamingServe(b *testing.B) {
 	m := benchStreamModel(b)
 	cfg := simulate.DefaultConfig()
+	sinks := simulate.StreamSinks{Entry: func(e *wmslog.Entry) error { return nil }}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ws, err := gismo.NewStream(m, benchSeed, gismo.DefaultShards())
+		ws, err := gismo.NewStream(m, benchSeed, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rng := rand.New(rand.NewSource(benchSeed))
-		res, err := simulate.RunStream(ws, ws.Population(), m.Horizon, cfg, rng, simulate.StreamSinks{})
+		res, err := simulate.RunStream(ws, ws.Population(), m.Horizon, cfg, benchSeed, sinks)
 		ws.Close()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			b.ReportMetric(float64(res.Transfers), "transfers")
+		}
+	}
+}
+
+// benchServeSharded times the parallel serve path at a fixed lane
+// count over the same fixture as BenchmarkStreamingServe — the
+// ISSUE 4 acceptance benchmark.
+func benchServeSharded(b *testing.B, lanes int) {
+	m := benchStreamModel(b)
+	cfg := simulate.DefaultConfig()
+	sinks := simulate.StreamSinks{Entry: func(e *wmslog.Entry) error { return nil }}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ws, err := gismo.NewStream(m, benchSeed, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := simulate.RunStreamSharded(ws, ws.Population(), m.Horizon, cfg, benchSeed, lanes, sinks)
+		ws.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Transfers), "transfers")
+		}
+	}
+}
+
+func BenchmarkStreamingServeSharded1(b *testing.B) { benchServeSharded(b, 1) }
+func BenchmarkStreamingServeSharded4(b *testing.B) { benchServeSharded(b, 4) }
+func BenchmarkStreamingServeSharded8(b *testing.B) { benchServeSharded(b, 8) }
+
+// benchEntry is a representative serve-path log entry for the encoder
+// benchmarks.
+func benchEntry() *wmslog.Entry {
+	return &wmslog.Entry{
+		Timestamp:    wmslog.TraceEpoch.Add(987654 * time.Second),
+		ClientIP:     "200.131.17.42",
+		PlayerID:     "player-000421377",
+		ClientOS:     "Windows 98",
+		ClientCPU:    "Pentium III",
+		URIStem:      "/live/feed1",
+		Duration:     1742,
+		Bytes:        23953750,
+		AvgBandwidth: 110000,
+		PacketsLost:  3,
+		ServerCPU:    4.37,
+		Referer:      "http://show.example.br/aovivo",
+		Status:       200,
+		ASNumber:     1916,
+		Country:      "BR",
+	}
+}
+
+// BenchmarkStreamingEncodeEntry measures the zero-alloc line encoder
+// the whole log path rides on (wmslog.AppendEntry).
+func BenchmarkStreamingEncodeEntry(b *testing.B) {
+	e := benchEntry()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = wmslog.AppendEntry(buf[:0], e)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encoding")
+	}
+}
+
+// BenchmarkStreamingParseEntry measures the ParseAppend fast path over
+// the canonical line AppendEntry emits.
+func BenchmarkStreamingParseEntry(b *testing.B) {
+	line := wmslog.AppendEntry(nil, benchEntry())
+	var e wmslog.Entry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := wmslog.ParseAppend(&e, line); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
