@@ -3,7 +3,11 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race bench bench-gate e2e profile
+.PHONY: build test race bench bench-gate e2e e2e-fleet profile
+
+# Extra flags for the e2e binaries (CI passes E2E_BUILDFLAGS=-race to
+# run the socket smokes under the race detector).
+E2E_BUILDFLAGS ?=
 
 build:
 	$(GO) build ./...
@@ -18,11 +22,15 @@ race:
 # generation, streamed serving) and renders BENCH_streaming.json —
 # ns/op and bytes/op per benchmark — seeding the perf trajectory.
 # The bench output is written to a file first so a failing `go test`
-# fails the target instead of being masked by a pipe.
+# fails the target instead of being masked by a pipe; every failing
+# step deletes the intermediate so a rerun never ingests stale output,
+# and the committed baseline is replaced atomically (write to .tmp,
+# then mv) so a failed render cannot truncate it.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 1 . > bench_streaming.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 1 . > bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	cat bench_streaming.txt
-	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_streaming.json
+	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_streaming.json.tmp || { rm -f bench_streaming.txt BENCH_streaming.json.tmp; exit 1; }
+	mv BENCH_streaming.json.tmp BENCH_streaming.json
 	@rm -f bench_streaming.txt
 	@echo "wrote BENCH_streaming.json"
 
@@ -32,10 +40,10 @@ bench:
 # BENCH_streaming.json baseline. Three runs per benchmark; the compare
 # gates on each benchmark's best run, damping shared-runner noise.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 3 . > bench_streaming.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 3 . > bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	cat bench_streaming.txt
-	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_fresh.json
-	$(GO) run ./cmd/benchjson -compare BENCH_streaming.json -threshold 0.25 < bench_streaming.txt
+	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_fresh.json || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -compare BENCH_streaming.json -threshold 0.25 < bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	@rm -f bench_streaming.txt
 
 # e2e exercises the full socket path: build lsmserve and lsmload, start
@@ -43,9 +51,19 @@ bench-gate:
 # over real TCP in compressed time, shut the server down, and verify the
 # served log matches the offered workload exactly.
 e2e:
-	$(GO) build -o $(BIN)/lsmserve ./cmd/lsmserve
-	$(GO) build -o $(BIN)/lsmload ./cmd/lsmload
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmserve ./cmd/lsmserve
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmload ./cmd/lsmload
 	BIN=$(BIN) ./scripts/e2e.sh
+
+# e2e-fleet exercises the horizontal axis: three lsmserve nodes behind
+# the lsmfleet redirector serve a replayed flash-crowd workload (hash
+# policy, merged-log MATCH, md5 parity with a single-node serve), then
+# a second pass SIGKILLs a node mid-replay and validates failover.
+e2e-fleet:
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmserve ./cmd/lsmserve
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmload ./cmd/lsmload
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmfleet ./cmd/lsmfleet
+	BIN=$(BIN) ./scripts/e2e_fleet.sh
 
 # profile captures pprof/trace artifacts from a representative
 # streaming run (the generate → simulate → log pipeline at bench-like

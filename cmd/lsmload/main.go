@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "", "lsmserve address to replay against (required unless -check)")
+		addr  = flag.String("addr", "", "lsmserve (or, with -frontend, lsmfleet) address to replay against (required unless -check)")
 		check = flag.String("check", "", "meta JSON from a previous replay: validate the server log instead of replaying")
 		logs  = flag.String("logs", "", "server transfer log (file or directory) for -check")
 		meta  = flag.String("meta", "", "write replay metadata JSON here (enables a later -check)")
@@ -69,6 +69,8 @@ func main() {
 		minWatch    = flag.Duration("min-watch", 40*time.Millisecond, "floor on per-transfer wall watch time")
 		idleConn    = flag.Duration("idle-conn", 2*time.Second, "idle pooled connection retirement age")
 		timeout     = flag.Int64("timeout", 0, "session timeout for -check (0 = widest-void auto pick)")
+		frontend    = flag.Bool("frontend", false, "-addr is an lsmfleet redirector: resolve each (client, object) route through it and follow one redirect hop")
+		maxFail     = flag.Int("max-failures", 0, "tolerate up to this many lost transfers (failover runs); lost events are recorded in -meta so -check can exclude exactly them")
 
 		profiles prof.Profiles
 	)
@@ -105,7 +107,11 @@ func main() {
 	if *check != "" {
 		err = runCheck(*check, *logs, *timeout, os.Stdout)
 	} else {
-		err = runReplay(*addr, sp, *compression, *conns, *minWatch, *idleConn, *meta, os.Stdout)
+		ro := replayOpts{
+			Compression: *compression, Conns: *conns, MinWatch: *minWatch,
+			IdleConn: *idleConn, Frontend: *frontend, MaxFailures: *maxFail,
+		}
+		err = runReplay(*addr, sp, ro, *meta, os.Stdout)
 	}
 	if perr := profiles.Stop(); err == nil {
 		err = perr
@@ -143,14 +149,36 @@ type spec struct {
 	Flash        []string `json:"flash,omitempty"`
 }
 
+// replayOpts bundles the wire-level replay knobs.
+type replayOpts struct {
+	Compression float64
+	Conns       int
+	MinWatch    time.Duration
+	IdleConn    time.Duration
+	// Frontend marks the target as a fleet redirector; MaxFailures is
+	// how many lost transfers a (failover) replay may shed and still
+	// succeed — the lost events land in the meta for exact validation.
+	Frontend    bool
+	MaxFailures int
+}
+
+// eventRef identifies one workload event — the granularity lost
+// transfers are recorded and excluded at.
+type eventRef struct {
+	Session int `json:"session"`
+	Seq     int `json:"seq"`
+}
+
 // metaFile anchors a finished replay for later validation.
 type metaFile struct {
-	Spec          spec    `json:"spec"`
-	BeginUnixNano int64   `json:"begin_unix_nano"`
-	Origin        int64   `json:"origin_trace_sec"`
-	Compression   float64 `json:"compression"`
-	Attempted     int     `json:"attempted"`
-	Completed     int     `json:"completed"`
+	Spec          spec       `json:"spec"`
+	BeginUnixNano int64      `json:"begin_unix_nano"`
+	Origin        int64      `json:"origin_trace_sec"`
+	Compression   float64    `json:"compression"`
+	Attempted     int        `json:"attempted"`
+	Completed     int        `json:"completed"`
+	Frontend      bool       `json:"frontend,omitempty"`
+	Failed        []eventRef `json:"failed,omitempty"`
 }
 
 // model builds the generator model for the spec.
@@ -279,7 +307,7 @@ func (sp *spec) offeredEvents() ([]workload.Event, gismo.Model, error) {
 	return events, m, nil
 }
 
-func runReplay(addr string, sp spec, compression float64, conns int, minWatch, idleConn time.Duration, metaPath string, out *os.File) error {
+func runReplay(addr string, sp spec, ro replayOpts, metaPath string, out *os.File) error {
 	stream, m, err := sp.stream()
 	if err != nil {
 		return err
@@ -287,14 +315,19 @@ func runReplay(addr string, sp spec, compression float64, conns int, minWatch, i
 	defer workload.CloseStream(stream)
 
 	cfg := loadgen.DefaultConfig()
-	cfg.Compression = compression
-	cfg.MaxConns = conns
-	cfg.MinWatch = minWatch
-	cfg.IdleConn = idleConn
+	cfg.Compression = ro.Compression
+	cfg.MaxConns = ro.Conns
+	cfg.MinWatch = ro.MinWatch
+	cfg.IdleConn = ro.IdleConn
 	cfg.MaxTransfers = sp.MaxTransfers
+	cfg.Frontend = ro.Frontend
 
-	fmt.Fprintf(out, "replaying %d-client model (horizon %ds) against %s at %gx compression\n",
-		m.NumClients, m.Horizon, addr, compression)
+	target := "server"
+	if ro.Frontend {
+		target = "fleet front-end"
+	}
+	fmt.Fprintf(out, "replaying %d-client model (horizon %ds) against %s %s at %gx compression\n",
+		m.NumClients, m.Horizon, target, addr, ro.Compression)
 	res, err := loadgen.Replay(addr, stream, cfg)
 	if err != nil {
 		return err
@@ -309,6 +342,10 @@ func runReplay(addr string, sp spec, compression float64, conns int, minWatch, i
 			Compression:   res.Compression,
 			Attempted:     res.Attempted,
 			Completed:     res.Completed,
+			Frontend:      ro.Frontend,
+		}
+		for _, ev := range res.FailedEvents {
+			mf.Failed = append(mf.Failed, eventRef{Session: ev.Session, Seq: ev.Seq})
 		}
 		data, err := json.MarshalIndent(&mf, "", "  ")
 		if err != nil {
@@ -319,8 +356,8 @@ func runReplay(addr string, sp spec, compression float64, conns int, minWatch, i
 		}
 		fmt.Fprintf(out, "replay metadata written to %s\n", metaPath)
 	}
-	if res.Failed > 0 {
-		return fmt.Errorf("%d of %d transfers failed", res.Failed, res.Attempted)
+	if res.Failed > ro.MaxFailures {
+		return fmt.Errorf("%d of %d transfers failed (max-failures %d)", res.Failed, res.Attempted, ro.MaxFailures)
 	}
 	return nil
 }
@@ -342,6 +379,25 @@ func runCheck(metaPath, logPath string, timeout int64, out *os.File) error {
 	if len(events) != mf.Attempted {
 		return fmt.Errorf("regenerated %d events but the replay attempted %d — meta/spec drift", len(events), mf.Attempted)
 	}
+	// A failover replay records the transfers it lost; the served log
+	// cannot contain them, so the offered side excludes exactly those.
+	if len(mf.Failed) > 0 {
+		lost := make(map[eventRef]bool, len(mf.Failed))
+		for _, ref := range mf.Failed {
+			lost[ref] = true
+		}
+		kept := events[:0]
+		for _, ev := range events {
+			if !lost[eventRef{Session: ev.Session, Seq: ev.Seq}] {
+				kept = append(kept, ev)
+			}
+		}
+		if len(events)-len(kept) != len(mf.Failed) {
+			return fmt.Errorf("meta records %d lost transfers but only %d matched regenerated events", len(mf.Failed), len(events)-len(kept))
+		}
+		events = kept
+		fmt.Fprintf(out, "excluding %d transfers lost during the replay\n", len(mf.Failed))
+	}
 	offered, err := loadgen.OfferedTrace(events, m.Horizon)
 	if err != nil {
 		return err
@@ -359,6 +415,21 @@ func runCheck(metaPath, logPath string, timeout int64, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "parsed %d served entries (%d malformed skipped)\n", st.Entries, st.Malformed)
+
+	// A node that dies between committing a log entry and the client
+	// reading END makes the raw log disagree with the replay's
+	// accounting (a recorded-lost event that was actually logged, or a
+	// retry double-serving one event). Reconcile by event identity and
+	// say so — the exactness claim below is over the reconciled set.
+	lostEvents := make([]workload.Event, 0, len(mf.Failed))
+	for _, ref := range mf.Failed {
+		lostEvents = append(lostEvents, workload.Event{Session: ref.Session, Seq: ref.Seq})
+	}
+	entries, droppedLost, droppedDup := loadgen.ReconcileServed(entries, lostEvents)
+	if droppedLost > 0 || droppedDup > 0 {
+		fmt.Fprintf(out, "reconciled served log: dropped %d entries for recorded-lost events, %d duplicate serves\n",
+			droppedLost, droppedDup)
+	}
 
 	begin := time.Unix(0, mf.BeginUnixNano)
 	decompressed, err := loadgen.DecompressEntries(entries, begin, mf.Origin, mf.Compression, wmslog.TraceEpoch)

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestJoinFleetRegistersAndDeregisters: a fleet-joined lsmserve is
+// routable through the redirector, and shutdown deregisters it before
+// the server stops serving.
+func TestJoinFleetRegistersAndDeregisters(t *testing.T) {
+	rcfg := cluster.DefaultRedirectorConfig()
+	rcfg.TTL = 5 * time.Second
+	rd, err := cluster.ServeRedirector("127.0.0.1:0", rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	a, err := newApp("127.0.0.1:0", "", 110000, 16, 10*time.Second, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.joinFleet(rd.Addr(), "", 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(rd.Registry().Alive(time.Now())) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("node never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	addr, err := cluster.Lookup(rd.Addr(), "player-1", "/live/feed1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != a.srv.Addr() {
+		t.Fatalf("fleet routes to %s, node listens on %s", addr, a.srv.Addr())
+	}
+
+	if err := a.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for len(rd.Registry().Alive(time.Now())) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("node still registered after shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

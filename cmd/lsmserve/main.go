@@ -7,7 +7,13 @@
 //
 //	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
 //	         [-max-conns 256] [-write-timeout 10s] [-idle-timeout 60s]
+//	         [-fleet host:port] [-advertise host:port] [-beat 500ms]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -fleet joins the node to an lsmfleet redirector: the node registers
+// its address (-advertise overrides what it announces, for NAT or
+// multi-interface hosts) and heartbeats its load every -beat, so the
+// front-end routes client transfers here and detects the node's death.
 //
 // -max-conns bounds concurrently served connections: a connection
 // beyond the limit is answered with "ERR busy" and closed immediately —
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/liveserver"
 	"repro/internal/prof"
 	"repro/internal/wmslog"
@@ -47,6 +54,10 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 10*time.Second, "disconnect a client that stops reading after this long (0 disables)")
 		idleTO   = flag.Duration("idle-timeout", 60*time.Second, "drop connections silent outside a transfer for this long (0 disables)")
 		maxConnO = flag.Int("maxconns", 0, "deprecated alias for -max-conns")
+
+		fleet     = flag.String("fleet", "", "register with the lsmfleet redirector at this address and heartbeat load")
+		advertise = flag.String("advertise", "", "address to advertise to the fleet (default: the actual listen address)")
+		beat      = flag.Duration("beat", 500*time.Millisecond, "fleet heartbeat interval")
 
 		profiles prof.Profiles
 	)
@@ -67,6 +78,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("live streaming server on %s (%d bit/s)\n", app.srv.Addr(), *rate)
+	if *fleet != "" {
+		if err := app.joinFleet(*fleet, *advertise, *beat); err != nil {
+			app.shutdown()
+			profiles.Stop()
+			fmt.Fprintln(os.Stderr, "lsmserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("registered with fleet redirector %s\n", *fleet)
+	}
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
@@ -88,13 +108,31 @@ func main() {
 // Connection handlers complete (and log) concurrently; the SyncWriter
 // serializes them.
 type app struct {
-	srv *liveserver.Server
+	srv   *liveserver.Server
+	agent *cluster.Agent // nil unless the node joined a fleet
 
 	logWriter *wmslog.SyncWriter
 	logFile   *os.File
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// joinFleet registers the node with the redirector and starts the
+// heartbeat loop, advertising the given address (default: the actual
+// listen address).
+func (a *app) joinFleet(frontend, advertise string, beat time.Duration) error {
+	if advertise == "" {
+		advertise = a.srv.Addr()
+	}
+	agent, err := cluster.StartAgent(frontend, advertise, beat, func() (int64, int64) {
+		return a.srv.ActiveTransfers(), a.srv.ServedTransfers()
+	})
+	if err != nil {
+		return err
+	}
+	a.agent = agent
+	return nil
 }
 
 // newApp starts the server, wiring completed transfers into the log
@@ -162,12 +200,16 @@ func (a *app) loop(interrupt <-chan os.Signal, statusEvery time.Duration, w io.W
 	}
 }
 
-// shutdown stops the server — which drains the connection handlers, so
-// every completed transfer has reached the sink and nothing logs
-// concurrently anymore — then flushes and closes the log. Idempotent;
-// the first error wins.
+// shutdown leaves the fleet first (so the redirector stops routing new
+// transfers here), then stops the server — which drains the connection
+// handlers, so every completed transfer has reached the sink and
+// nothing logs concurrently anymore — then flushes and closes the log.
+// Idempotent; the first error wins.
 func (a *app) shutdown() error {
 	a.closeOnce.Do(func() {
+		if a.agent != nil {
+			a.agent.Close()
+		}
 		a.closeErr = a.srv.Close()
 		if a.logFile == nil {
 			return

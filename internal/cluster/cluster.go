@@ -1,0 +1,53 @@
+// Package cluster is the horizontal-scale axis of the live streaming
+// service: a fleet of liveserver nodes behind a deterministic
+// redirector front-end, the way the paper's production workload was
+// actually served (a server farm, not one socket loop).
+//
+// The front-end speaks two line protocols on one listener, dispatched
+// by the first verb of a connection:
+//
+// Clients (media players / the load generator):
+//
+//	C: HELLO <player-id>
+//	S: OK HELLO
+//	C: START <uri> [<session> <seq>]
+//	S: REDIRECT <host:port>          (or "ERR no nodes")
+//	...                              (more STARTs allowed)
+//	C: QUIT
+//	S: OK BYE
+//
+// The client then dials the redirected node and replays the transfer
+// there with the full liveserver protocol. One hop, bounded: a node
+// never redirects, so a client that receives a second REDIRECT is
+// talking to a misconfigured fleet and must stop following.
+//
+// Nodes (liveserver processes):
+//
+//	N: REGISTER <host:port>
+//	S: OK REGISTER
+//	N: BEAT <active> <served>        (periodic, on the same connection)
+//	S: OK                            (or "ERR unregistered" after expiry)
+//
+// Liveness is dual: the registration connection dropping deregisters
+// the node immediately (a killed process fails over in milliseconds),
+// and a heartbeat older than the TTL expires it even while the
+// connection lingers (a wedged process fails over within one TTL). A
+// node whose BEAT is answered with "ERR unregistered" re-REGISTERs on
+// the same connection — the heartbeat-expiry re-registration path.
+//
+// Node choice is a pluggable Policy over (player, uri): "hash"
+// (rendezvous hashing — deterministic for a fixed node set, the policy
+// under which a fleet serve is byte-comparable to a single-node serve),
+// "least-loaded" (minimum reported active transfers), and
+// "round-robin".
+package cluster
+
+import (
+	"errors"
+)
+
+// ErrCluster reports a fleet-protocol violation.
+var ErrCluster = errors.New("cluster: protocol error")
+
+// MaxLineBytes bounds one control line on the fleet port.
+const MaxLineBytes = 512

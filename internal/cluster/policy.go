@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync/atomic"
+)
+
+// Policy picks a serving node for one (player, uri) route. Pick sees
+// the alive node set in deterministic (address-sorted) order and
+// returns ok=false when the set is empty.
+type Policy interface {
+	Name() string
+	Pick(player, uri string, nodes []Node) (addr string, ok bool)
+}
+
+// NewPolicy resolves a policy by name: "hash", "least-loaded",
+// "round-robin".
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "hash":
+		return &hashPolicy{}, nil
+	case "least-loaded":
+		return &leastLoadedPolicy{}, nil
+	case "round-robin":
+		return &roundRobinPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q (want hash, least-loaded, round-robin)", name)
+	}
+}
+
+// routeSeed is the shared maphash seed: fixed at process start so every
+// Pick in one redirector scores identically, which is all rendezvous
+// hashing needs (determinism across processes is not required — the
+// contract is per-redirector route stability).
+var routeSeed = maphash.MakeSeed()
+
+// routeScore is the rendezvous (highest-random-weight) score of one
+// (player, uri, node) triple.
+func routeScore(player, uri, addr string) uint64 {
+	var h maphash.Hash
+	h.SetSeed(routeSeed)
+	h.WriteString(player)
+	h.WriteByte(0)
+	h.WriteString(uri)
+	h.WriteByte(0)
+	h.WriteString(addr)
+	return h.Sum64()
+}
+
+// hashPolicy is rendezvous hashing over (player, uri): each route
+// sticks to one node for as long as that node lives, and removing a
+// node moves only that node's routes — the consistent-hashing property
+// that keeps failover churn minimal. For a fixed node set the
+// assignment is a pure function of the route, so a whole replay is
+// reproducible node-by-node within one redirector run.
+type hashPolicy struct{}
+
+func (*hashPolicy) Name() string { return "hash" }
+
+func (*hashPolicy) Pick(player, uri string, nodes []Node) (string, bool) {
+	if len(nodes) == 0 {
+		return "", false
+	}
+	best := nodes[0].Addr
+	bestScore := routeScore(player, uri, best)
+	for _, n := range nodes[1:] {
+		if s := routeScore(player, uri, n.Addr); s > bestScore {
+			best, bestScore = n.Addr, s
+		}
+	}
+	return best, true
+}
+
+// leastLoadedPolicy picks the node with the fewest reported active
+// transfers, breaking ties by the rendezvous score so equally loaded
+// nodes still spread deterministically per route.
+type leastLoadedPolicy struct{}
+
+func (*leastLoadedPolicy) Name() string { return "least-loaded" }
+
+func (*leastLoadedPolicy) Pick(player, uri string, nodes []Node) (string, bool) {
+	if len(nodes) == 0 {
+		return "", false
+	}
+	best := nodes[0]
+	bestScore := routeScore(player, uri, best.Addr)
+	for _, n := range nodes[1:] {
+		s := routeScore(player, uri, n.Addr)
+		if n.Active < best.Active || (n.Active == best.Active && s > bestScore) {
+			best, bestScore = n, s
+		}
+	}
+	return best.Addr, true
+}
+
+// roundRobinPolicy cycles through the (sorted) alive set.
+type roundRobinPolicy struct {
+	next atomic.Uint64
+}
+
+func (*roundRobinPolicy) Name() string { return "round-robin" }
+
+func (p *roundRobinPolicy) Pick(player, uri string, nodes []Node) (string, bool) {
+	if len(nodes) == 0 {
+		return "", false
+	}
+	i := p.next.Add(1) - 1
+	return nodes[i%uint64(len(nodes))].Addr, true
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -54,9 +55,20 @@ func Dial(addr, playerID string) (*Client, error) {
 // timer goroutine (net.Conn writes are safe for concurrent use), so the
 // read loop never has to poll.
 func (c *Client) Watch(uri string, duration time.Duration) (TransferResult, error) {
+	return c.WatchTagged(uri, UntaggedSession, 0, duration)
+}
+
+// WatchTagged is Watch with a workload tag: the server logs the
+// transfer with the (session, seq) identity of the workload event it
+// realizes. Pass UntaggedSession to omit the tag.
+func (c *Client) WatchTagged(uri string, session int64, seq int, duration time.Duration) (TransferResult, error) {
 	res := TransferResult{URI: uri}
+	start := "START " + uri
+	if session >= 0 {
+		start += " " + strconv.FormatInt(session, 10) + " " + strconv.Itoa(seq)
+	}
 	requested := time.Now()
-	if err := c.send("START " + uri); err != nil {
+	if err := c.send(start); err != nil {
 		return res, err
 	}
 	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))

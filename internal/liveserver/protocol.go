@@ -18,13 +18,21 @@
 //
 //	C: HELLO <player-id>
 //	S: OK HELLO
-//	C: START <uri>
+//	C: START <uri> [<session> <seq>]
 //	S: OK START <uri>
 //	S: DATA <n>        (followed by n raw bytes; repeated)
 //	C: STOP            (any time after START)
 //	S: END <bytes> <frames>
 //	C: QUIT
 //	S: OK BYE
+//
+// The optional session/seq tag on START identifies the workload event
+// the transfer realizes (the generator's global session index and the
+// transfer's position within it). A tagged transfer is logged with the
+// tag, which is what makes per-node fleet logs mergeable into one
+// deterministic realization (wmslog.MergeFiles) and lets a replay
+// harness account for individual lost events under failover. Untagged
+// STARTs behave exactly as before.
 //
 // Any protocol violation produces "ERR <reason>" and closes the
 // connection.
@@ -51,9 +59,15 @@ var ErrProtocol = errors.New("liveserver: protocol error")
 
 // command is one parsed control line.
 type command struct {
-	verb string // HELLO, START, STOP, QUIT
-	arg  string // player ID or URI, if any
+	verb    string // HELLO, START, STOP, QUIT
+	arg     string // player ID or URI, if any
+	session int64  // workload session tag on START, UntaggedSession if absent
+	seq     int    // transfer index within the session
 }
+
+// UntaggedSession marks a transfer whose START carried no session/seq
+// tag.
+const UntaggedSession int64 = -1
 
 // parseCommand parses one control line from a client.
 func parseCommand(line string) (command, error) {
@@ -63,16 +77,34 @@ func parseCommand(line string) (command, error) {
 	}
 	verb, arg, _ := strings.Cut(line, " ")
 	switch verb {
-	case "HELLO", "START":
+	case "HELLO":
 		if arg == "" || strings.ContainsAny(arg, " \t") {
 			return command{}, fmt.Errorf("%w: %s needs one argument", ErrProtocol, verb)
 		}
-		return command{verb: verb, arg: arg}, nil
+		return command{verb: verb, arg: arg, session: UntaggedSession}, nil
+	case "START":
+		fields := strings.Fields(arg)
+		switch len(fields) {
+		case 1:
+			return command{verb: verb, arg: fields[0], session: UntaggedSession}, nil
+		case 3:
+			session, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || session < 0 {
+				return command{}, fmt.Errorf("%w: bad session tag %q", ErrProtocol, fields[1])
+			}
+			seq, err := strconv.Atoi(fields[2])
+			if err != nil || seq < 0 {
+				return command{}, fmt.Errorf("%w: bad seq tag %q", ErrProtocol, fields[2])
+			}
+			return command{verb: verb, arg: fields[0], session: session, seq: seq}, nil
+		default:
+			return command{}, fmt.Errorf("%w: START wants <uri> [<session> <seq>]", ErrProtocol)
+		}
 	case "STOP", "QUIT":
 		if arg != "" {
 			return command{}, fmt.Errorf("%w: %s takes no argument", ErrProtocol, verb)
 		}
-		return command{verb: verb}, nil
+		return command{verb: verb, session: UntaggedSession}, nil
 	default:
 		return command{}, fmt.Errorf("%w: unknown verb %q", ErrProtocol, verb)
 	}

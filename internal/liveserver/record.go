@@ -21,7 +21,15 @@ import (
 // the parser reads timestamps back as UTC, so logging local time would
 // skew every reconstructed instant by the host's zone offset on
 // non-UTC machines.
+// A tagged transfer (Session >= 0) is logged with its workload identity
+// in the referer field — the only free-text column the WMS format
+// offers — so per-node fleet logs can be merged and diffed by event
+// identity (wmslog.SessionRef / Entry.SessionSeq).
 func RecordEntry(r TransferRecord) *wmslog.Entry {
+	referer := ""
+	if r.Session >= 0 {
+		referer = wmslog.SessionRef(r.Session, r.Seq)
+	}
 	return &wmslog.Entry{
 		Timestamp:    r.End.UTC(),
 		ClientIP:     r.RemoteIP,
@@ -30,6 +38,7 @@ func RecordEntry(r TransferRecord) *wmslog.Entry {
 		Duration:     int64(math.Round(r.End.Sub(r.Start).Seconds())),
 		Bytes:        r.Bytes,
 		AvgBandwidth: bandwidthOf(r),
+		Referer:      referer,
 		Status:       200,
 		Country:      "BR",
 		ASNumber:     1,

@@ -33,6 +33,10 @@ type TransferRecord struct {
 	End      time.Time
 	Bytes    int64
 	Frames   int
+	// Session and Seq echo the workload tag the client attached to
+	// START (Session is UntaggedSession when the START carried none).
+	Session int64
+	Seq     int
 }
 
 // ServerConfig parameterizes the streaming server.
@@ -335,7 +339,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.disarmIdle(conn)
-			err := s.stream(conn, writer, in, &scratch, playerID, remoteIP, msg.cmd.arg)
+			err := s.stream(conn, writer, in, &scratch, playerID, remoteIP, msg.cmd)
 			if err != nil {
 				return
 			}
@@ -372,7 +376,8 @@ func trimErr(err error) string {
 // and payload are batched into the bufio writer and flushed as one
 // burst per frame, and the END/ERR replies are appended into the
 // connection's scratch buffer.
-func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, scratch *[]byte, playerID, remoteIP, uri string) error {
+func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, scratch *[]byte, playerID, remoteIP string, start0 command) error {
+	uri := start0.arg
 	s.armWrite(conn)
 	*scratch = append(append(append((*scratch)[:0], "OK START "...), uri...), '\n')
 	writer.Write(*scratch)
@@ -406,7 +411,7 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, 
 					return err
 				}
 				s.served.Add(1)
-				s.emit(playerID, remoteIP, uri, start, sent, frames)
+				s.emit(playerID, remoteIP, uri, start, sent, frames, start0.session, start0.seq)
 				return nil
 			case "QUIT":
 				return io.EOF
@@ -432,7 +437,7 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, 
 	}
 }
 
-func (s *Server) emit(playerID, remoteIP, uri string, start time.Time, bytes int64, frames int) {
+func (s *Server) emit(playerID, remoteIP, uri string, start time.Time, bytes int64, frames int, session int64, seq int) {
 	if s.cfg.Sink == nil {
 		return
 	}
@@ -444,6 +449,8 @@ func (s *Server) emit(playerID, remoteIP, uri string, start time.Time, bytes int
 		End:      time.Now(),
 		Bytes:    bytes,
 		Frames:   frames,
+		Session:  session,
+		Seq:      seq,
 	})
 }
 

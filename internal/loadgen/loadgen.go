@@ -65,6 +65,21 @@ type Config struct {
 	// MaxTransfers caps replayed events (0 = drain the stream).
 	MaxTransfers int
 
+	// Frontend marks the replay target as a fleet redirector front-end
+	// (internal/cluster) rather than a liveserver: every (client,
+	// object) route is resolved through it — HELLO/START answered with
+	// REDIRECT — and the transfer runs against the redirected node.
+	// Routes are cached sticky per (client, object); exactly one
+	// redirect hop is ever followed. When a node dies, affected
+	// transfers re-resolve through the front-end (bounded retries) and
+	// the recovery is recorded in the metrics as a failover.
+	Frontend bool
+	// ResolveTimeout bounds one front-end route lookup.
+	ResolveTimeout time.Duration
+	// FailoverAttempts is how many times a failed transfer re-resolves
+	// and retries before being counted lost (fleet mode only).
+	FailoverAttempts int
+
 	// PlayerOf maps a client index to the player ID sent in HELLO. Nil
 	// uses the generator's population naming (player-%07d).
 	PlayerOf func(client int) string
@@ -77,10 +92,12 @@ type Config struct {
 // 256 connections.
 func DefaultConfig() Config {
 	return Config{
-		Compression: 600,
-		MaxConns:    256,
-		MinWatch:    40 * time.Millisecond,
-		IdleConn:    2 * time.Second,
+		Compression:      600,
+		MaxConns:         256,
+		MinWatch:         40 * time.Millisecond,
+		IdleConn:         2 * time.Second,
+		ResolveTimeout:   5 * time.Second,
+		FailoverAttempts: 3,
 	}
 }
 
@@ -100,6 +117,14 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxTransfers < 0 {
 		return fmt.Errorf("%w: max transfers %d", ErrBadConfig, c.MaxTransfers)
+	}
+	if c.Frontend {
+		if c.ResolveTimeout <= 0 {
+			return fmt.Errorf("%w: resolve timeout %v", ErrBadConfig, c.ResolveTimeout)
+		}
+		if c.FailoverAttempts < 0 {
+			return fmt.Errorf("%w: failover attempts %d", ErrBadConfig, c.FailoverAttempts)
+		}
 	}
 	return nil
 }
@@ -133,6 +158,9 @@ func Replay(addr string, stream workload.Stream, cfg Config) (*Result, error) {
 		cfg:   cfg,
 		slots: make(chan struct{}, cfg.MaxConns),
 		m:     newMetrics(),
+	}
+	if cfg.Frontend {
+		r.resolver = newResolver(addr, cfg.ResolveTimeout, r.m)
 	}
 	workers := make(map[int]*worker)
 
@@ -179,13 +207,14 @@ func Replay(addr string, stream workload.Stream, cfg Config) (*Result, error) {
 
 // runner is the shared state of one replay.
 type runner struct {
-	addr   string
-	cfg    Config
-	slots  chan struct{} // connection budget: one token per open conn
-	wg     sync.WaitGroup
-	m      *metrics
-	begin  time.Time
-	origin int64
+	addr     string
+	cfg      Config
+	slots    chan struct{} // connection budget: one token per open conn
+	wg       sync.WaitGroup
+	m        *metrics
+	resolver *resolver // non-nil in fleet (front-end) mode
+	begin    time.Time
+	origin   int64
 }
 
 // wallAt maps a trace instant onto the replay's wall clock.
@@ -222,7 +251,7 @@ func (r *runner) dispatch(workers map[int]*worker, ev workload.Event) {
 		go func() {
 			defer r.wg.Done()
 			defer r.releaseSlot()
-			c := r.perform(nil, ev, false)
+			c, _ := r.perform(nil, "", ev, false)
 			if c != nil {
 				c.Close()
 			}
@@ -299,14 +328,18 @@ func (r *runner) reap(workers map[int]*worker) {
 
 // runWorker serves one client's transfer sequence over a pooled
 // connection, dialing lazily and holding its connection slot until
-// retired.
+// retired. In fleet mode the connection is pinned to the node of the
+// client's most recent route: a route to a different node closes it and
+// redials (clients mostly re-watch one object, so the pin rarely
+// moves).
 func (r *runner) runWorker(w *worker) {
 	defer r.wg.Done()
 	defer r.releaseSlot()
 	var c *liveserver.Client
+	var cAddr string
 	for ev := range w.jobs {
 		w.busy.Store(true)
-		c = r.perform(c, ev, true)
+		c, cAddr = r.perform(c, cAddr, ev, true)
 		w.busy.Store(false)
 	}
 	if c != nil {
@@ -314,60 +347,122 @@ func (r *runner) runWorker(w *worker) {
 	}
 }
 
-// perform runs one transfer, returning the connection for reuse (nil if
-// it died). A pooled connection that fails gets one redial-and-retry:
-// the usual cause is the server's idle timeout having harvested it
-// between transfers, which is the pool's fault, not the workload's.
-func (r *runner) perform(c *liveserver.Client, ev workload.Event, pooled bool) *liveserver.Client {
-	fresh := false
-	if c == nil {
-		var ok bool
-		c, ok = r.dial(ev.Client)
-		if !ok {
-			return nil
+// perform runs one transfer, returning the connection and its node
+// address for reuse (nil if it died). A pooled connection that fails
+// gets one redial-and-retry against the same node: the usual cause is
+// the server's idle timeout having harvested it between transfers,
+// which is the pool's fault, not the workload's. In fleet mode a
+// transfer that still fails re-resolves its route through the front-end
+// and retries on whatever node the fleet now names — the failover path;
+// recoveries are counted, and a transfer lost after all retries is
+// recorded with its workload event so validation can exclude exactly
+// the lost events.
+func (r *runner) perform(c *liveserver.Client, cAddr string, ev workload.Event, pooled bool) (*liveserver.Client, string) {
+	addr, err := r.routeOf(ev)
+	if err == nil {
+		if c != nil && cAddr != addr {
+			c.Close()
+			c = nil
 		}
-		fresh = true
-	}
-	err := r.watch(c, ev)
-	if err != nil && pooled && !fresh {
+		fresh := c == nil
+		if c == nil {
+			c, err = r.dial(addr, ev.Client)
+		}
+		if err == nil {
+			err = r.watch(c, ev)
+			if err != nil && pooled && !fresh {
+				c.Close()
+				c, err = r.dial(addr, ev.Client)
+				if err == nil {
+					err = r.watch(c, ev)
+				}
+			}
+		}
+	} else if c != nil {
+		// Route lookup failed; the pooled connection's node is unknown
+		// for this event, so it cannot be reused.
 		c.Close()
-		var ok bool
-		c, ok = r.dial(ev.Client)
-		if !ok {
-			return nil
+		c = nil
+	}
+	// Fleet failover: every failure — including the initial route
+	// lookup's — gets the same bounded re-resolve-and-retry, except a
+	// redirect loop, where re-resolving would hand back the same
+	// misconfigured answer: that fails fast under the one-hop bound.
+	if err != nil && r.resolver != nil && classify(err) != failureRedirectLoop {
+		if c != nil {
+			c.Close()
+			c = nil
 		}
-		err = r.watch(c, ev)
+		key := routeKey{ev.Client, ev.Object}
+		failedAddr := addr
+		for attempt := 0; attempt < r.cfg.FailoverAttempts && err != nil; attempt++ {
+			r.resolver.invalidate(key, addr)
+			// Give the front-end a beat to notice the death; the first
+			// retry is immediate (a killed node deregisters instantly).
+			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+			if addr, err = r.routeOf(ev); err != nil {
+				continue
+			}
+			if c, err = r.dial(addr, ev.Client); err != nil {
+				continue
+			}
+			if err = r.watch(c, ev); err != nil {
+				c.Close()
+				c = nil
+				if classify(err) == failureRedirectLoop {
+					break // misconfigured fleet: retrying cannot help
+				}
+			}
+		}
+		// A failover is a recovery whose route actually moved — a retry
+		// that succeeded on the same node was a transient blip, not a
+		// reroute, and must not inflate the node-failure evidence.
+		if err == nil && addr != failedAddr {
+			r.m.failedOver()
+		}
 	}
 	if err != nil {
-		r.m.transferFailed(err)
-		c.Close()
-		return nil
+		r.m.lost(ev, err)
+		if c != nil {
+			c.Close()
+		}
+		return nil, ""
 	}
-	return c
+	return c, addr
 }
 
-// dial opens and HELLOs a connection for the client, recording dial
-// latency or the failure.
-func (r *runner) dial(client int) (*liveserver.Client, bool) {
+// routeOf names the node serving the event: the fixed server address in
+// direct mode, the front-end's (cached) answer in fleet mode.
+func (r *runner) routeOf(ev workload.Event) (string, error) {
+	if r.resolver == nil {
+		return r.addr, nil
+	}
+	return r.resolver.resolve(routeKey{ev.Client, ev.Object}, r.cfg.playerOf(ev.Client), r.cfg.uriOf(ev.Object))
+}
+
+// dial opens and HELLOs a connection to addr for the client, recording
+// dial latency on success.
+func (r *runner) dial(addr string, client int) (*liveserver.Client, error) {
 	begin := time.Now()
-	c, err := liveserver.Dial(r.addr, r.cfg.playerOf(client))
+	c, err := liveserver.Dial(addr, r.cfg.playerOf(client))
 	if err != nil {
-		r.m.dialFailed(err)
-		return nil, false
+		return nil, err
 	}
 	r.m.dialed(time.Since(begin))
-	return c, true
+	return c, nil
 }
 
 // watch runs the transfer: watch until the event's end instant on the
 // virtual clock (so a late start shortens the watch instead of shifting
-// the transfer's end), floored at MinWatch.
+// the transfer's end), floored at MinWatch. The transfer is tagged with
+// its workload event identity, which the server logs — the key the
+// fleet's merged-log verification joins on.
 func (r *runner) watch(c *liveserver.Client, ev workload.Event) error {
 	dur := time.Until(r.wallAt(ev.End()))
 	if dur < r.cfg.MinWatch {
 		dur = r.cfg.MinWatch
 	}
-	res, err := c.Watch(r.cfg.uriOf(ev.Object), dur)
+	res, err := c.WatchTagged(r.cfg.uriOf(ev.Object), int64(ev.Session), ev.Seq, dur)
 	if err != nil {
 		return err
 	}
@@ -382,6 +477,8 @@ func classify(err error) failureKind {
 		return failureNone
 	case strings.Contains(err.Error(), "busy"):
 		return failureRefused
+	case strings.Contains(err.Error(), "REDIRECT"):
+		return failureRedirectLoop
 	case strings.Contains(err.Error(), "dial"):
 		return failureDial
 	default:

@@ -1,0 +1,55 @@
+package loadgen
+
+import (
+	"repro/internal/wmslog"
+	"repro/internal/workload"
+)
+
+// ReconcileServed reconciles a served entry set with a replay's
+// failure record under the at-least-once semantics of failover
+// retries. Two races around a node's death make the raw log disagree
+// with the client's accounting, both through the same window — the
+// node commits a transfer's log entry just before sending END, and the
+// client can fail after that commit:
+//
+//   - The client's retries all fail and the event is recorded lost,
+//     but the first node had already logged it. Validation excludes
+//     the event from the offered side, so the stray served entry must
+//     go too (droppedLost).
+//   - A retry succeeds on another node, so the event is logged twice.
+//     The duplicate — same (session, seq) tag — is dropped, keeping
+//     the first occurrence (droppedDup).
+//
+// Only tagged entries can be reconciled; untagged entries pass
+// through. The counts are returned so a validation pass can report
+// what it reconciled instead of silently absorbing it.
+func ReconcileServed(entries []*wmslog.Entry, failed []workload.Event) (kept []*wmslog.Entry, droppedLost, droppedDup int) {
+	type ident struct {
+		session int64
+		seq     int
+	}
+	lost := make(map[ident]bool, len(failed))
+	for _, ev := range failed {
+		lost[ident{int64(ev.Session), ev.Seq}] = true
+	}
+	seen := make(map[ident]bool, len(entries))
+	kept = make([]*wmslog.Entry, 0, len(entries))
+	for _, e := range entries {
+		s, q, ok := e.SessionSeq()
+		if !ok {
+			kept = append(kept, e)
+			continue
+		}
+		id := ident{s, q}
+		switch {
+		case lost[id]:
+			droppedLost++
+		case seen[id]:
+			droppedDup++
+		default:
+			seen[id] = true
+			kept = append(kept, e)
+		}
+	}
+	return kept, droppedLost, droppedDup
+}

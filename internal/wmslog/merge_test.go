@@ -1,0 +1,267 @@
+package wmslog
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSessionRefRoundTrip(t *testing.T) {
+	cases := []struct {
+		session int64
+		seq     int
+	}{{0, 0}, {1, 2}, {123456789, 42}, {1 << 40, 999}}
+	for _, c := range cases {
+		ref := SessionRef(c.session, c.seq)
+		s, q, ok := ParseSessionRef(ref)
+		if !ok || s != c.session || q != c.seq {
+			t.Errorf("round trip %d.%d via %q -> %d %d %v", c.session, c.seq, ref, s, q, ok)
+		}
+	}
+	for _, bad := range []string{"", "-", "http://example.com", "event-", "event-1", "event-x.1", "event-1.x", "event--1.0", "event-1.-2"} {
+		if _, _, ok := ParseSessionRef(bad); ok {
+			t.Errorf("ParseSessionRef(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSessionRefSurvivesLogRoundTrip(t *testing.T) {
+	e := testEntryAt(time.Date(2002, 1, 7, 3, 4, 5, 0, time.UTC), 7, 3)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := ReadAll(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	s, q, ok := entries[0].SessionSeq()
+	if !ok || s != 7 || q != 3 {
+		t.Fatalf("tag did not survive: %d %d %v", s, q, ok)
+	}
+}
+
+// testEntryAt builds a valid tagged entry.
+func testEntryAt(ts time.Time, session int64, seq int) *Entry {
+	return &Entry{
+		Timestamp:    ts,
+		ClientIP:     "127.0.0.1",
+		PlayerID:     "player-1",
+		URIStem:      "/live/feed1",
+		Duration:     10,
+		Bytes:        1000,
+		AvgBandwidth: 800,
+		Referer:      SessionRef(session, seq),
+		Status:       200,
+		ASNumber:     1,
+		Country:      "BR",
+	}
+}
+
+// TestMergeEntriesDeterministicOrder: the merged order must be
+// (end-time, session, seq) regardless of how entries are partitioned
+// across files or ordered within one file.
+func TestMergeEntriesDeterministicOrder(t *testing.T) {
+	epoch := time.Date(2002, 1, 7, 0, 0, 0, 0, time.UTC)
+	var all []*Entry
+	session := int64(0)
+	for i := 0; i < 300; i++ {
+		// Many entries share a timestamp (1-second log resolution), so
+		// the session/seq key must carry the order.
+		ts := epoch.Add(time.Duration(i/10) * time.Second)
+		all = append(all, testEntryAt(ts, session, i%3))
+		if i%3 == 2 {
+			session++
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	baseline := ""
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]*Entry(nil), all...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		k := 1 + trial
+		files := make([][]*Entry, k)
+		for i, e := range shuffled {
+			files[i%k] = append(files[i%k], e)
+		}
+		merged := MergeEntries(files)
+		if len(merged) != len(all) {
+			t.Fatalf("trial %d: merged %d of %d", trial, len(merged), len(all))
+		}
+		for i := 1; i < len(merged); i++ {
+			if keyOf(merged[i]).less(keyOf(merged[i-1])) {
+				t.Fatalf("trial %d: merged order violated at %d", trial, i)
+			}
+		}
+		var rendered bytes.Buffer
+		w := NewWriter(&rendered)
+		for _, e := range merged {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Flush()
+		if trial == 0 {
+			baseline = rendered.String()
+		} else if rendered.String() != baseline {
+			t.Fatalf("trial %d: merged bytes differ from baseline for the same entry set", trial)
+		}
+	}
+}
+
+// TestMergeEntriesUntaggedDeterministic: untagged entries share one
+// key rank per second, so the rendered-line tiebreak must make their
+// merged order independent of partitioning too.
+func TestMergeEntriesUntaggedDeterministic(t *testing.T) {
+	epoch := time.Date(2002, 1, 7, 0, 0, 0, 0, time.UTC)
+	var all []*Entry
+	for i := 0; i < 60; i++ {
+		e := testEntryAt(epoch.Add(time.Duration(i/20)*time.Second), 0, 0)
+		e.Referer = "" // untagged
+		e.PlayerID = "player-" + string(rune('a'+i%7))
+		e.Bytes = int64(100 + i)
+		all = append(all, e)
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	render := func(files [][]*Entry) string {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range MergeEntries(files) {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Flush()
+		return buf.String()
+	}
+	baseline := render([][]*Entry{all})
+	for trial := 0; trial < 4; trial++ {
+		shuffled := append([]*Entry(nil), all...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		files := make([][]*Entry, 3)
+		for i, e := range shuffled {
+			files[i%3] = append(files[i%3], e)
+		}
+		if render(files) != baseline {
+			t.Fatalf("trial %d: untagged merge depends on partitioning", trial)
+		}
+	}
+}
+
+// TestMergeFilesAndRealizationDigest: merging K per-node files yields
+// the same realization digest as the single-file serve of the same
+// realization, and a different realization digests differently.
+func TestMergeFilesAndRealizationDigest(t *testing.T) {
+	dir := t.TempDir()
+	epoch := time.Date(2002, 1, 7, 0, 0, 0, 0, time.UTC)
+	var all []*Entry
+	for s := int64(0); s < 40; s++ {
+		for q := 0; q < 3; q++ {
+			e := testEntryAt(epoch.Add(time.Duration(s)*7*time.Second), s, q)
+			e.PlayerID = "player-" + string(rune('a'+s%5))
+			all = append(all, e)
+		}
+	}
+
+	writeLog := func(name string, entries []*Entry) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWriter(f)
+		for _, e := range entries {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+
+	// Partition "by node" pseudo-randomly, with per-node wall-clock
+	// jitter in the timestamps (what distinct fleet nodes produce).
+	var nodeFiles []string
+	parts := make([][]*Entry, 3)
+	for i, e := range all {
+		n := (i * 7) % 3
+		jittered := *e
+		jittered.Timestamp = e.Timestamp.Add(time.Duration(n) * 0) // same second: log resolution
+		parts[n] = append(parts[n], &jittered)
+	}
+	for n, p := range parts {
+		nodeFiles = append(nodeFiles, writeLog("node"+string(rune('0'+n))+".log", p))
+	}
+	single := writeLog("single.log", all)
+
+	var mergedFleet bytes.Buffer
+	fleetStats, err := MergeFiles(&mergedFleet, nodeFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergedSingle bytes.Buffer
+	singleStats, err := MergeFiles(&mergedSingle, []string{single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleetStats.Entries != len(all) || singleStats.Entries != len(all) {
+		t.Fatalf("entry counts: fleet %d single %d want %d", fleetStats.Entries, singleStats.Entries, len(all))
+	}
+	if fleetStats.Tagged != len(all) {
+		t.Fatalf("tagged %d of %d", fleetStats.Tagged, len(all))
+	}
+	if fleetStats.Realization != singleStats.Realization {
+		t.Fatalf("fleet realization %s != single %s", fleetStats.Realization, singleStats.Realization)
+	}
+	if !bytes.Equal(mergedFleet.Bytes(), mergedSingle.Bytes()) {
+		t.Fatal("merged fleet log is not byte-identical to merged single log")
+	}
+
+	// The merged file parses back to the same entries.
+	entries, _, err := ReadAll(bytes.NewReader(mergedFleet.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(all) {
+		t.Fatalf("reparsed %d of %d", len(entries), len(all))
+	}
+
+	// A different realization (one transfer lost) digests differently.
+	lossy := writeLog("lossy.log", all[1:])
+	var mergedLossy bytes.Buffer
+	lossyStats, err := MergeFiles(&mergedLossy, []string{lossy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossyStats.Realization == fleetStats.Realization {
+		t.Fatal("lost transfer not reflected in realization digest")
+	}
+}
+
+// TestMergeFilesStrict: a corrupt node log fails the merge instead of
+// silently thinning the realization.
+func TestMergeFilesStrict(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.log")
+	if err := os.WriteFile(path, []byte("#Fields: "+"date time c-ip\nnot a log line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := MergeFiles(&buf, []string{path}); err == nil {
+		t.Fatal("corrupt log merged without error")
+	}
+}

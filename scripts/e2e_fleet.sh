@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Fleet end-to-end: three lsmserve nodes behind an lsmfleet redirector
+# serve a replayed flash-crowd workload over real TCP.
+#
+# Phase A (hash policy): the replay must complete with zero lost
+# transfers, the per-node logs K-way-merge into one canonical log that
+# MATCHes the offered workload exactly, and the merged realization
+# digest must be md5-identical to a single-node serve of the same
+# workload.
+#
+# Phase B (failover): one node is SIGKILLed mid-replay; transfers must
+# re-route through the front-end (visible in the loadgen metrics), and
+# the merged logs must still MATCH the offered workload minus exactly
+# the transfers the replay recorded as lost.
+#
+# Artifacts (server/client output, per-node logs, merged logs, metas)
+# land in $OUT; on success a temp OUT is removed, on failure it is kept
+# (CI sets OUT inside the workspace and uploads it).
+set -euo pipefail
+
+BIN=${BIN:-bin}
+PORT=${PORT:-18600} # redirector; nodes take PORT+1..PORT+3
+CLEAN_OUT=0
+if [ -z "${OUT:-}" ]; then
+    OUT=$(mktemp -d)
+    CLEAN_OUT=1
+else
+    mkdir -p "$OUT"
+fi
+
+STATUS=fail
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    if [ "$STATUS" = ok ]; then
+        [ "$CLEAN_OUT" = 1 ] && rm -rf "$OUT"
+    else
+        echo "e2e fleet: FAIL — artifacts kept in $OUT" >&2
+    fi
+}
+trap cleanup EXIT
+
+# wait_grep FILE PATTERN — poll up to ~10s for PATTERN to appear.
+wait_grep() {
+    for _ in $(seq 1 100); do
+        if grep -q "$2" "$1" 2>/dev/null; then return 0; fi
+        sleep 0.1
+    done
+    echo "timed out waiting for '$2' in $1" >&2
+    return 1
+}
+
+# entries FILE — count data lines (non-header) in a wms log.
+entries() { grep -vc '^#' "$1" || true; }
+
+# The same ~100-client, 1-trace-hour flash-crowd workload the single
+# node e2e replays, so fleet and single-node realizations are
+# comparable.
+WORKLOAD=(-scale 6919 -hours 1 -no-ramp -rate 0.03 -seed 7 -flash 300:600:100)
+REPLAY=(-compression 600 -conns 200)
+
+start_fleet() { # $1 = phase dir
+    local dir="$OUT/$1"
+    mkdir -p "$dir"
+    "$BIN"/lsmfleet -addr "127.0.0.1:$PORT" -policy hash > "$dir/fleet.out" 2>&1 &
+    PIDS+=($!)
+    FLEET_PID=$!
+    wait_grep "$dir/fleet.out" "fleet redirector on"
+    NODE_PIDS=()
+    for i in 1 2 3; do
+        "$BIN"/lsmserve -addr "127.0.0.1:$((PORT + i))" -log "$dir/node$i.log" \
+            -fleet "127.0.0.1:$PORT" -beat 200ms \
+            -max-conns 600 -write-timeout 15s > "$dir/node$i.out" 2>&1 &
+        PIDS+=($!)
+        NODE_PIDS+=($!)
+    done
+    wait_grep "$dir/fleet.out" "nodes: 3 registered"
+}
+
+stop_fleet() { # graceful: flush node logs, then stop the redirector
+    for p in "${NODE_PIDS[@]}"; do kill -INT "$p" 2>/dev/null || true; done
+    for p in "${NODE_PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+    kill -INT "$FLEET_PID" 2>/dev/null || true
+    wait "$FLEET_PID" 2>/dev/null || true
+}
+
+echo "=== phase A: 3-node hash fleet, exact merged-log match ==="
+start_fleet a
+"$BIN"/lsmload -addr "127.0.0.1:$PORT" -frontend \
+    "${WORKLOAD[@]}" "${REPLAY[@]}" -meta "$OUT/a/meta.json" | tee "$OUT/a/replay.out"
+stop_fleet
+
+# The hash policy must actually have spread the workload.
+SERVING=0
+for i in 1 2 3; do
+    n=$(entries "$OUT/a/node$i.log")
+    echo "node$i served $n transfers"
+    [ "$n" -gt 0 ] && SERVING=$((SERVING + 1))
+done
+if [ "$SERVING" -lt 2 ]; then
+    echo "hash policy routed everything to $SERVING node(s)" >&2
+    exit 1
+fi
+
+"$BIN"/lsmfleet -merge "$OUT/a/merged.log" \
+    "$OUT/a/node1.log" "$OUT/a/node2.log" "$OUT/a/node3.log" | tee "$OUT/a/merge.out"
+"$BIN"/lsmload -check "$OUT/a/meta.json" -logs "$OUT/a/merged.log"
+
+echo "=== phase A': single-node serve of the same workload ==="
+mkdir -p "$OUT/single"
+"$BIN"/lsmserve -addr "127.0.0.1:$((PORT + 4))" -log "$OUT/single/single.log" \
+    -max-conns 600 -write-timeout 15s > "$OUT/single/server.out" 2>&1 &
+PIDS+=($!)
+SINGLE_PID=$!
+wait_grep "$OUT/single/server.out" "live streaming server on"
+"$BIN"/lsmload -addr "127.0.0.1:$((PORT + 4))" \
+    "${WORKLOAD[@]}" "${REPLAY[@]}" -meta "$OUT/single/meta.json" > "$OUT/single/replay.out" 2>&1
+kill -INT "$SINGLE_PID" && wait "$SINGLE_PID" || true
+"$BIN"/lsmfleet -merge "$OUT/single/merged.log" "$OUT/single/single.log" | tee "$OUT/single/merge.out"
+
+FLEET_MD5=$(grep -o 'realization md5=.*' "$OUT/a/merge.out")
+SINGLE_MD5=$(grep -o 'realization md5=.*' "$OUT/single/merge.out")
+if [ "$FLEET_MD5" != "$SINGLE_MD5" ]; then
+    echo "fleet realization ($FLEET_MD5) != single-node realization ($SINGLE_MD5)" >&2
+    exit 1
+fi
+echo "fleet and single-node realizations agree: $FLEET_MD5"
+
+echo "=== phase B: kill-one-node failover mid-replay ==="
+start_fleet b
+(
+    sleep 2.5
+    kill -KILL "${NODE_PIDS[1]}" 2>/dev/null || true
+    echo "killed node2 (pid ${NODE_PIDS[1]})"
+) &
+KILLER=$!
+"$BIN"/lsmload -addr "127.0.0.1:$PORT" -frontend \
+    "${WORKLOAD[@]}" "${REPLAY[@]}" -max-failures 200 \
+    -meta "$OUT/b/meta.json" | tee "$OUT/b/replay.out"
+wait "$KILLER" || true
+stop_fleet
+
+# The reroute must be visible in the loadgen metrics.
+REROUTED=$(sed -n 's/.* \([0-9][0-9]*\) rerouted after node failure.*/\1/p' "$OUT/b/replay.out")
+if [ -z "$REROUTED" ] || [ "$REROUTED" -eq 0 ]; then
+    echo "no failover recorded in loadgen metrics after killing a node" >&2
+    exit 1
+fi
+echo "loadgen rerouted $REROUTED transfers after the kill"
+
+# Merged logs (including the killed node's flushed prefix) must match
+# the offered workload minus exactly the recorded lost transfers.
+"$BIN"/lsmfleet -merge "$OUT/b/merged.log" \
+    "$OUT/b/node1.log" "$OUT/b/node2.log" "$OUT/b/node3.log" | tee "$OUT/b/merge.out"
+"$BIN"/lsmload -check "$OUT/b/meta.json" -logs "$OUT/b/merged.log"
+
+STATUS=ok
+echo "e2e fleet: PASS"
