@@ -3,14 +3,23 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race bench bench-gate e2e e2e-fleet profile
+.PHONY: verify build lint test race bench bench-gate e2e e2e-fleet profile
 
 # Extra flags for the e2e binaries (CI passes E2E_BUILDFLAGS=-race to
 # run the socket smokes under the race detector).
 E2E_BUILDFLAGS ?=
 
+# verify is the default local gate: compile, contract-lint, test.
+verify: build lint test
+
 build:
 	$(GO) build ./...
+
+# lint runs lsmvet, the repo's contract checker (DESIGN.md "Enforced
+# invariants"): determinism, hotpath allocations, entry retention, and
+# seed-lane uniqueness, with //lsm: directives for audited exceptions.
+lint:
+	$(GO) run ./cmd/lsmvet ./...
 
 test:
 	$(GO) test ./...

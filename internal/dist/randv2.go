@@ -1,0 +1,29 @@
+package dist
+
+import (
+	"math"
+	randv2 "math/rand/v2"
+)
+
+// This file holds the math/rand/v2 entry points of the samplers. The
+// repo is migrating generator-side draws off legacy math/rand one
+// consumer at a time (simulate moved in PR 4; topology and the
+// flash-crowd scenario move in this PR); the legacy methods stay until
+// the last consumer (gismo's session machinery, vbr) crosses over.
+// SplitMix64 satisfies both source interfaces, so a migrated consumer
+// keeps its seed-lane derivation and changes only the stream drawn
+// from it.
+
+// DrawV2 is Draw for a math/rand/v2 generator.
+func (a *Alias) DrawV2(rng *randv2.Rand) int {
+	i := rng.IntN(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// SampleV2 is Sample for a math/rand/v2 generator.
+func (l Lognormal) SampleV2(rng *randv2.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}

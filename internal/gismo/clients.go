@@ -2,7 +2,7 @@ package gismo
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/topology"
 )
@@ -81,8 +81,8 @@ func NewPopulation(n int, topoCfg topology.Config, rng *rand.Rand) (*Population,
 			PlayerID:  fmt.Sprintf("player-%07d", i),
 			Placement: topo.Place(rng),
 			Access:    drawAccess(cum, rng),
-			OS:        clientOSes[rng.Intn(len(clientOSes))],
-			CPU:       clientCPUs[rng.Intn(len(clientCPUs))],
+			OS:        clientOSes[rng.IntN(len(clientOSes))],
+			CPU:       clientCPUs[rng.IntN(len(clientCPUs))],
 		}
 	}
 	return p, nil

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"testing"
 
 	"repro/internal/dist"
@@ -269,7 +270,7 @@ func TestGenerateRejectsInvalidModel(t *testing.T) {
 }
 
 func TestPopulation(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := randv2.New(randv2.NewPCG(7, 0))
 	m := testModel()
 	pop, err := NewPopulation(200, m.Topology, rng)
 	if err != nil {

@@ -3,6 +3,7 @@ package gismo
 import (
 	"fmt"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"runtime"
 	"sync/atomic"
 
@@ -103,7 +104,7 @@ func NewStream(m Model, seed int64, shards int) (*WorkloadStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	popRng := rand.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), lanePopulation)))
+	popRng := randv2.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), lanePopulation)))
 	pop, err := NewPopulation(m.NumClients, m.Topology, popRng)
 	if err != nil {
 		return nil, err

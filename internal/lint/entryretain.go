@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// entryPtrType is the pooled type whose lifetime the analyzer guards.
+const entryPtrType = "*repro/internal/wmslog.Entry"
+
+// NewEntryRetain builds the entryretain analyzer: the simulator pools
+// log entries and recycles them the moment a StreamSinks.Entry call
+// returns (the copy-to-retain contract, DESIGN.md §1b). Any function
+// taking a *wmslog.Entry parameter therefore must not let the POINTER
+// outlive the call: storing it in a field, slice, map, channel,
+// package variable, or goroutine/closure is a use-after-recycle bug in
+// waiting. Copying the value (`cp := *e`) is always safe and never
+// flagged. Functions that own their entries (parsers, mergers) carry
+// //lsm:retain with a reason.
+func NewEntryRetain() *Analyzer {
+	a := &Analyzer{
+		Name: "entryretain",
+		Doc:  "forbid retaining a sink *wmslog.Entry past the call",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ftype *ast.FuncType
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					ftype, body = n.Type, n.Body
+				case *ast.FuncLit:
+					ftype, body = n.Type, n.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				tainted := entryParams(pass, ftype)
+				if len(tainted) > 0 {
+					checkRetention(pass, body, tainted)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// entryParams collects the function's parameters of type *wmslog.Entry.
+func entryParams(pass *Pass, ftype *ast.FuncType) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	if ftype.Params == nil {
+		return tainted
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj != nil && types.TypeString(obj.Type(), nil) == entryPtrType {
+				tainted[obj] = true
+			}
+		}
+	}
+	return tainted
+}
+
+// checkRetention walks one function body with the given tainted
+// objects. Local aliases (`x := e`, `x = e`) propagate taint; any flow
+// of a tainted pointer into storage that outlives the call is flagged.
+func checkRetention(pass *Pass, body *ast.BlockStmt, tainted map[types.Object]bool) {
+	info := pass.Pkg.Info
+	taintedExpr := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && tainted[info.Uses[id]]
+	}
+
+	// Fixed-point alias propagation: `x := e` chains can appear in any
+	// order relative to their uses.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !taintedExpr(as.Rhs[i]) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					// Aliases of package-level vars are retention, not
+					// aliasing; handled below.
+					if obj.Parent() != nil && obj.Parent() != pass.Pkg.Types.Scope() {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos token.Pos, how string) {
+		pass.Reportf(pos, []string{VerbRetain},
+			"sink *wmslog.Entry %s: the entry is pooled and recycled after the sink returns — copy the value (cp := *e) to retain, or annotate //lsm:retain if this code owns the entry", how)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE && n.Tok != token.ASSIGN {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !taintedExpr(n.Rhs[i]) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					report(n.Rhs[i].Pos(), "stored in a struct field")
+				case *ast.IndexExpr:
+					report(n.Rhs[i].Pos(), "stored in a slice or map")
+				case *ast.Ident:
+					if obj := info.Uses[l]; obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+						report(n.Rhs[i].Pos(), "stored in a package-level variable")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if taintedExpr(n.Value) {
+				report(n.Value.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if taintedExpr(arg) {
+					report(arg.Pos(), "passed to a goroutine")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "append" {
+					for _, arg := range n.Args[1:] {
+						if taintedExpr(arg) {
+							report(arg.Pos(), "appended to a slice")
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if taintedExpr(v) {
+					report(v.Pos(), "stored in a composite literal")
+				}
+			}
+		case *ast.FuncLit:
+			// A closure can run after the sink returns; any use of the
+			// pointer inside one is a retention unless the closure is
+			// part of the synchronous call (callers annotate those).
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if ok && tainted[info.Uses[id]] {
+					report(id.Pos(), "captured by a closure")
+					return false
+				}
+				return true
+			})
+			return false // inner FuncLits re-checked from their own params only
+		}
+		return true
+	})
+}

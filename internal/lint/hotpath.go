@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotpath builds the hotpath analyzer: inside functions annotated
+// //lsm:hotpath it flags the allocation sources PR 4 drove out of the
+// serve path —
+//
+//   - any call into package fmt (Sprintf and friends allocate and
+//     reflect),
+//   - non-constant string concatenation (each + builds a fresh string),
+//   - implicit boxing of a concrete non-pointer value into an
+//     interface (call arguments, assignments, returns, conversions),
+//   - make with no size hint (grows from zero on first insert).
+//
+// Individual audited allocations (cold error paths, once-per-conn
+// setup) are granted with //lsm:alloc.
+func NewHotpath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "forbid allocating constructs in //lsm:hotpath functions",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !FuncAnnotated(fn, VerbHotpath) {
+					continue
+				}
+				checkHotpathBody(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, name, n)
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv, ok := info.Types[n]
+			if !ok || tv.Value != nil { // constant concat folds at compile time
+				return true
+			}
+			if isString(tv.Type) {
+				pass.Reportf(n.OpPos, []string{VerbAlloc},
+					"string concatenation in //lsm:hotpath %s allocates; append to a reused []byte instead", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.TokPos, []string{VerbAlloc},
+					"string += in //lsm:hotpath %s allocates; append to a reused []byte instead", name)
+			}
+			checkHotpathAssignBoxing(pass, name, n)
+		case *ast.ReturnStmt:
+			checkHotpathReturnBoxing(pass, name, fn, n)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	// fmt.* calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), []string{VerbAlloc},
+					"fmt.%s call in //lsm:hotpath %s: fmt boxes every operand and allocates; use strconv appends or preformatted bytes", sel.Sel.Name, name)
+				return
+			}
+		}
+	}
+	// Builtins and conversions.
+	if funTV, ok := info.Types[call.Fun]; ok {
+		if funTV.IsType() {
+			// Explicit conversion: T(x). Boxing only when T is an
+			// interface and x is a boxable concrete value.
+			if isIface(funTV.Type) && len(call.Args) == 1 && boxes(info.TypeOf(call.Args[0])) {
+				pass.Reportf(call.Pos(), []string{VerbAlloc},
+					"conversion to interface in //lsm:hotpath %s boxes the value (allocates)", name)
+			}
+			return
+		}
+		if funTV.IsBuiltin() {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) == 1 {
+				pass.Reportf(call.Pos(), []string{VerbAlloc},
+					"make without a size hint in //lsm:hotpath %s: presize it or hoist the allocation out of the hot path", name)
+			}
+			return
+		}
+	}
+	// Ordinary call: flag concrete non-pointer arguments landing in
+	// interface parameters (the implicit boxing fmt-style APIs cause).
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isIface(pt) && boxes(info.TypeOf(arg)) && !isUntypedNil(info, arg) {
+			pass.Reportf(arg.Pos(), []string{VerbAlloc},
+				"argument boxed into interface parameter in //lsm:hotpath %s (allocates)", name)
+		}
+	}
+}
+
+func checkHotpathAssignBoxing(pass *Pass, name string, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return // multi-value RHS carries its own types through
+	}
+	info := pass.Pkg.Info
+	for i, lhs := range n.Lhs {
+		lt := info.TypeOf(lhs)
+		if n.Tok == token.DEFINE {
+			// x := y infers x's type from y — no conversion happens.
+			continue
+		}
+		if isIface(lt) && boxes(info.TypeOf(n.Rhs[i])) && !isUntypedNil(info, n.Rhs[i]) {
+			pass.Reportf(n.Rhs[i].Pos(), []string{VerbAlloc},
+				"value boxed into interface on assignment in //lsm:hotpath %s (allocates)", name)
+		}
+	}
+}
+
+func checkHotpathReturnBoxing(pass *Pass, name string, fn *ast.FuncDecl, n *ast.ReturnStmt) {
+	info := pass.Pkg.Info
+	sig, ok := info.TypeOf(fn.Name).(*types.Signature)
+	if !ok || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range n.Results {
+		rt := sig.Results().At(i).Type()
+		if isIface(rt) && boxes(info.TypeOf(res)) && !isUntypedNil(info, res) {
+			pass.Reportf(res.Pos(), []string{VerbAlloc},
+				"return value boxed into interface result in //lsm:hotpath %s (allocates)", name)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: concrete non-pointer types do (the value is copied to the
+// heap); pointers, channels, maps, funcs, and existing interfaces fit
+// the data word.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		k := t.Underlying().(*types.Basic).Kind()
+		return k != types.UnsafePointer && k != types.UntypedNil
+	}
+	return true
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

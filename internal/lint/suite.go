@@ -1,0 +1,13 @@
+package lint
+
+// DefaultAnalyzers returns a fresh instance of the full lsmvet suite.
+// Instances carry per-run state (seedlane accumulates candidates
+// across packages), so a new slice is built for every Run.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(nil),
+		NewHotpath(),
+		NewEntryRetain(),
+		NewSeedlane(),
+	}
+}

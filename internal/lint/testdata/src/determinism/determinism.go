@@ -1,0 +1,53 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads, global-rand draws, and map ranges are findings; seeded
+// generators and directive-audited sites are not.
+package determinism
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+func auditedWallclock() time.Time {
+	return time.Now() //lsm:wallclock -- operator-facing timestamp, never reaches an output
+}
+
+func timers(d time.Duration) {
+	t := time.NewTimer(d) // want `wall-clock read time\.NewTimer`
+	t.Stop()
+}
+
+func globalDraws() int {
+	a := rand.Intn(10)   // want `global rand\.Intn draw`
+	b := randv2.IntN(10) // want `global rand\.IntN draw`
+	return a + b
+}
+
+func seededDraws() int {
+	r := rand.New(rand.NewSource(1))
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	return r.Intn(10) + r2.IntN(10)
+}
+
+func mapRange(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in deterministic package`
+		total += v
+	}
+	return total
+}
+
+func sortedMapRange(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //lsm:nondet -- sorted below before any output
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

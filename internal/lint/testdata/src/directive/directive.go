@@ -1,0 +1,6 @@
+// Package directive carries a typoed //lsm: verb: the driver must
+// surface it as a finding instead of a silent no-op suppression.
+package directive
+
+//lsm:hotpth
+func typo() {}

@@ -1,0 +1,46 @@
+// Package hotpath exercises the hotpath analyzer: allocation sources
+// inside //lsm:hotpath functions are findings; identical constructs in
+// unannotated functions, constant folds, and //lsm:alloc-audited sites
+// are not.
+package hotpath
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+//lsm:hotpath
+func hot(s sink, n int, parts []string) string {
+	fmt.Println(n)             // want `fmt\.Println call in //lsm:hotpath hot`
+	out := parts[0] + parts[1] // want `string concatenation in //lsm:hotpath hot`
+	out += "!"                 // want `string \+= in //lsm:hotpath hot`
+	s.accept(n)                // want `argument boxed into interface parameter`
+	m := make(map[int]int)     // want `make without a size hint`
+	m[n] = n
+	var v any
+	v = n // want `value boxed into interface on assignment`
+	_ = v
+	_ = any(n) // want `conversion to interface`
+	folded := "a" + "b"
+	return out + folded // want `string concatenation in //lsm:hotpath hot`
+}
+
+//lsm:hotpath
+func boxedReturn(n int) any {
+	return n // want `return value boxed into interface result`
+}
+
+//lsm:hotpath
+func clean(buf []byte, n int) []byte {
+	sized := make([]byte, 0, n)
+	sized = append(sized, byte(n&0xff))
+	return append(buf, sized...)
+}
+
+//lsm:hotpath
+func coldError(err error) string {
+	return fmt.Sprintf("cold: %v", err) //lsm:alloc -- teardown path, once per connection
+}
+
+func unannotated(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,21 @@
+// Package seedlane exercises the repo-wide seed-lane registry: two
+// declarations (or Mix64 call sites) claiming one lane value collide
+// unless //lsm:lanedup grants the sharing.
+package seedlane
+
+import "repro/internal/dist"
+
+const (
+	laneAlpha  uint64 = 1
+	laneBeta   uint64 = 2 // want `seed lane 2 is claimed by 2 sites`
+	laneDup    uint64 = 2 // want `seed lane 2 is claimed by 2 sites`
+	laneMirror uint64 = 3 // want `seed lane 3 is claimed by 2 sites`
+	sharedLane uint64 = 3 //lsm:lanedup -- deliberately mirrors laneMirror for the suppression case
+)
+
+func mix(seed uint64) uint64 {
+	a := dist.Mix64(seed, laneAlpha)
+	b := dist.Mix64(seed, 9) // want `seed lane 9 is claimed by 2 sites`
+	c := dist.Mix64(seed, 9) // want `seed lane 9 is claimed by 2 sites`
+	return a ^ b ^ c ^ laneBeta ^ laneDup ^ sharedLane ^ laneMirror
+}

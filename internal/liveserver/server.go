@@ -376,6 +376,8 @@ func trimErr(err error) string {
 // and payload are batched into the bufio writer and flushed as one
 // burst per frame, and the END/ERR replies are appended into the
 // connection's scratch buffer.
+//
+//lsm:hotpath
 func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, scratch *[]byte, playerID, remoteIP string, start0 command) error {
 	uri := start0.arg
 	s.armWrite(conn)
@@ -420,7 +422,7 @@ func (s *Server) stream(conn net.Conn, writer *bufio.Writer, in <-chan inbound, 
 				*scratch = append(append(append(append((*scratch)[:0], "ERR "...), msg.cmd.verb...), " during transfer"...), '\n')
 				writer.Write(*scratch)
 				writer.Flush()
-				return fmt.Errorf("%w: %s during transfer", ErrProtocol, msg.cmd.verb)
+				return fmt.Errorf("%w: %s during transfer", ErrProtocol, msg.cmd.verb) //lsm:alloc -- teardown path: runs once per dead connection, never per frame
 			}
 		case <-ticker.C:
 			s.armWrite(conn)

@@ -2,7 +2,7 @@ package scenario
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/dist"
@@ -124,7 +124,7 @@ func (fc *FlashCrowd) events(seed int64) ([]workload.Event, error) {
 
 	arrivals := make([]int64, fc.Sessions)
 	for i := range arrivals {
-		arrivals[i] = fc.At + rng.Int63n(fc.Duration)
+		arrivals[i] = fc.At + rng.Int64N(fc.Duration)
 	}
 	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
 
@@ -138,12 +138,12 @@ func (fc *FlashCrowd) events(seed int64) ([]workload.Event, error) {
 		session := fc.SessionBase + i
 		for k := 0; k < n; k++ {
 			if k > 0 {
-				t += int64(gap.Sample(rng))
+				t += int64(gap.SampleV2(rng))
 			}
 			if t >= fc.Horizon {
 				break
 			}
-			d := int64(length.Sample(rng))
+			d := int64(length.SampleV2(rng))
 			if d < 1 {
 				d = 1
 			}
@@ -156,8 +156,8 @@ func (fc *FlashCrowd) events(seed int64) ([]workload.Event, error) {
 			events = append(events, workload.Event{
 				Session:  session,
 				Seq:      k,
-				Client:   rng.Intn(fc.Clients),
-				Object:   rng.Intn(fc.Objects),
+				Client:   rng.IntN(fc.Clients),
+				Object:   rng.IntN(fc.Objects),
 				Start:    t,
 				Duration: d,
 			})

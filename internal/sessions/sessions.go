@@ -56,7 +56,7 @@ func Sessionize(tr *trace.Trace, timeout int64) (*Set, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadTimeout, timeout)
 	}
 	var out []Session
-	for client, idxs := range tr.ByClient() {
+	for client, idxs := range tr.ByClient() { //lsm:nondet -- the sort below re-imposes the (Start, Client) total order
 		out = append(out, sessionizeClient(tr, client, idxs, timeout)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -121,7 +121,7 @@ func (s *Set) OffTimes() []float64 {
 		perClient[sess.Client] = append(perClient[sess.Client], i)
 	}
 	var out []float64
-	for _, idxs := range perClient {
+	for _, idxs := range perClient { //lsm:nondet -- sort.Float64s below re-imposes a total order
 		for k := 1; k < len(idxs); k++ {
 			prev := s.Sessions[idxs[k-1]]
 			next := s.Sessions[idxs[k]]

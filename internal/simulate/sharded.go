@@ -131,7 +131,7 @@ func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64,
 			}
 			lastStart = ev.Start
 			conc := concurrency.admit(ev.Start, ev.End())
-			lane := int(dist.Mix64(uint64(ev.Client), 0) % uint64(lanes))
+			lane := int(dist.Mix64(uint64(ev.Client), laneHash) % uint64(lanes))
 			batches[lane] = append(batches[lane], laneItem{ev: ev, seq: seq, conc: int32(conc)})
 			seq++
 			if len(batches[lane]) == serveBatch {

@@ -5,7 +5,7 @@ import (
 	"crypto/md5"
 	"errors"
 	"fmt"
-	legacyrand "math/rand"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -145,7 +145,7 @@ func TestRunStreamShardedSkewedLanes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop, err := gismo.NewPopulation(1, m.Topology, legacyrand.New(legacyrand.NewSource(4)))
+	pop, err := gismo.NewPopulation(1, m.Topology, rand.New(rand.NewPCG(4, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,7 @@
 package simulate
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"testing"
 
@@ -132,7 +132,7 @@ func TestRunStreamMemoryBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop, err := gismo.NewPopulation(200, m.Topology, rand.New(rand.NewSource(3)))
+	pop, err := gismo.NewPopulation(200, m.Topology, rand.New(rand.NewPCG(3, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}

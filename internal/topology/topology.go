@@ -14,7 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/dist"
 )
@@ -103,7 +103,7 @@ func New(cfg Config, rng *rand.Rand) (*Model, error) {
 	m := &Model{ASes: make([]AS, cfg.NumAS)}
 	weights := make([]float64, cfg.NumAS)
 	for i := 0; i < cfg.NumAS; i++ {
-		country := cfg.Countries[countryAlias.Draw(rng)]
+		country := cfg.Countries[countryAlias.DrawV2(rng)]
 		// The top-ranked ASes are Brazilian in the paper's trace; force
 		// rank 1-3 to BR so the country histogram keeps its shape even
 		// for tiny NumAS.
@@ -113,7 +113,7 @@ func New(cfg Config, rng *rand.Rand) (*Model, error) {
 		m.ASes[i] = AS{
 			Number:  i + 1,
 			Country: country,
-			ipBase:  uint32(10+i%200)<<24 | uint32(rng.Intn(256))<<16,
+			ipBase:  uint32(10+i%200)<<24 | uint32(rng.IntN(256))<<16,
 		}
 		weights[i] = math.Pow(float64(i+1), -cfg.Alpha)
 	}
@@ -128,7 +128,7 @@ func New(cfg Config, rng *rand.Rand) (*Model, error) {
 // Place draws a placement for one client: a Zipf-ranked AS, a synthetic
 // IP in its block, and the AS's country.
 func (m *Model) Place(rng *rand.Rand) Placement {
-	i := m.alias.Draw(rng)
+	i := m.alias.DrawV2(rng)
 	as := m.ASes[i]
 	host := rng.Uint32() & 0xFFFF // host bits within the AS /16 block
 	ip := as.ipBase | host

@@ -2,7 +2,7 @@ package topology
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"testing"
 
@@ -10,7 +10,7 @@ import (
 )
 
 func TestNewValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	bad := []Config{
 		{NumAS: 0, Alpha: 1, Countries: []string{"BR"}, Weights: []float64{1}},
 		{NumAS: 10, Alpha: 0, Countries: []string{"BR"}, Weights: []float64{1}},
@@ -39,7 +39,7 @@ func TestDefaultConfigMatchesPaperScale(t *testing.T) {
 }
 
 func TestPlaceProducesValidIPs(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	m, err := New(DefaultConfig(), rng)
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestPlaceProducesValidIPs(t *testing.T) {
 }
 
 func TestASPopularityIsZipf(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	cfg := DefaultConfig()
 	m, err := New(cfg, rng)
 	if err != nil {
@@ -95,7 +95,7 @@ func TestASPopularityIsZipf(t *testing.T) {
 }
 
 func TestBrazilDominatesTransfers(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewPCG(4, 0))
 	m, err := New(DefaultConfig(), rng)
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +114,7 @@ func TestBrazilDominatesTransfers(t *testing.T) {
 }
 
 func TestSmallTopology(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewPCG(5, 0))
 	cfg := DefaultConfig()
 	cfg.NumAS = 1
 	m, err := New(cfg, rng)
@@ -132,7 +132,7 @@ func TestSmallTopology(t *testing.T) {
 
 func TestPlacementsDeterministicUnderSeed(t *testing.T) {
 	build := func() []Placement {
-		rng := rand.New(rand.NewSource(77))
+		rng := rand.New(rand.NewPCG(77, 0))
 		m, err := New(DefaultConfig(), rng)
 		if err != nil {
 			t.Fatal(err)

@@ -17,6 +17,8 @@ import (
 // This is the hot-path encoder: Writer, SyncWriter and DailyWriter all
 // route through it with a reused scratch buffer, so the serve pipeline
 // writes log lines without any per-entry allocation.
+//
+//lsm:hotpath
 func AppendEntry(b []byte, e *Entry) []byte {
 	b = appendDate(b, e.Timestamp)
 	b = append(b, ' ')
@@ -130,12 +132,14 @@ func appendDashField(b []byte, s string) []byte {
 // repeated whitespace and arbitrary float formats).
 //
 // The line must not include the trailing newline.
+//
+//lsm:hotpath
 func ParseAppend(e *Entry, line []byte) error {
 	cols := fieldSplitter{line: line}
 	date, ok := cols.next()
 	clock, ok2 := cols.next()
 	if !ok || !ok2 {
-		return fmt.Errorf("%w: truncated line", ErrFormat)
+		return errTruncated()
 	}
 	ts, err := parseTimestamp(date, clock)
 	if err != nil {
@@ -143,19 +147,19 @@ func ParseAppend(e *Entry, line []byte) error {
 	}
 	e.Timestamp = ts
 	if e.ClientIP, ok = cols.nextString(); !ok {
-		return fmt.Errorf("%w: missing c-ip", ErrFormat)
+		return errMissing("c-ip")
 	}
 	if e.PlayerID, ok = cols.nextString(); !ok {
-		return fmt.Errorf("%w: missing c-playerid", ErrFormat)
+		return errMissing("c-playerid")
 	}
 	if e.ClientOS, ok = cols.nextUndashed(); !ok {
-		return fmt.Errorf("%w: missing c-os", ErrFormat)
+		return errMissing("c-os")
 	}
 	if e.ClientCPU, ok = cols.nextUndashed(); !ok {
-		return fmt.Errorf("%w: missing c-cpu", ErrFormat)
+		return errMissing("c-cpu")
 	}
 	if e.URIStem, ok = cols.nextString(); !ok {
-		return fmt.Errorf("%w: missing cs-uri-stem", ErrFormat)
+		return errMissing("cs-uri-stem")
 	}
 	if e.Duration, err = cols.nextInt("x-duration"); err != nil {
 		return err
@@ -173,7 +177,7 @@ func ParseAppend(e *Entry, line []byte) error {
 		return err
 	}
 	if e.Referer, ok = cols.nextUndashed(); !ok {
-		return fmt.Errorf("%w: missing cs(Referer)", ErrFormat)
+		return errMissing("cs(Referer)")
 	}
 	status, err := cols.nextInt("sc-status")
 	if err != nil {
@@ -186,13 +190,23 @@ func ParseAppend(e *Entry, line []byte) error {
 	}
 	e.ASNumber = int(asn)
 	if e.Country, ok = cols.nextUndashed(); !ok {
-		return fmt.Errorf("%w: missing s-country", ErrFormat)
+		return errMissing("s-country")
 	}
 	if !cols.done() {
-		return fmt.Errorf("%w: trailing columns", ErrFormat)
+		return errTrailing()
 	}
 	return e.Validate()
 }
+
+// The fast path's error constructors live outside the //lsm:hotpath
+// decoder body: they run only on malformed input, where the line is
+// about to take the allocating legacy fallback anyway.
+
+func errTruncated() error { return fmt.Errorf("%w: truncated line", ErrFormat) }
+
+func errMissing(field string) error { return fmt.Errorf("%w: missing %s", ErrFormat, field) }
+
+func errTrailing() error { return fmt.Errorf("%w: trailing columns", ErrFormat) }
 
 // fieldSplitter walks single-space-separated columns without allocating.
 type fieldSplitter struct {
