@@ -29,7 +29,10 @@ race:
 
 # bench runs the streaming-pipeline benchmarks (sequential vs sharded
 # generation, streamed serving) and renders BENCH_streaming.json —
-# ns/op and bytes/op per benchmark — seeding the perf trajectory.
+# ns/op and bytes/op per benchmark — seeding the perf trajectory. The
+# serve benchmarks additionally run a -cpu 1,2,4,8 matrix so the
+# sharded path's scaling (metrics.speedup_vs_sequential, computed per
+# GOMAXPROCS against the sequential serve) is part of the record.
 # The bench output is written to a file first so a failing `go test`
 # fails the target instead of being masked by a pipe; every failing
 # step deletes the intermediate so a rerun never ingests stale output,
@@ -37,22 +40,28 @@ race:
 # then mv) so a failed render cannot truncate it.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 1 . > bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamingServe' -benchmem -count 1 -cpu 1,2,4,8 . >> bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	cat bench_streaming.txt
 	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_streaming.json.tmp || { rm -f bench_streaming.txt BENCH_streaming.json.tmp; exit 1; }
 	mv BENCH_streaming.json.tmp BENCH_streaming.json
 	@rm -f bench_streaming.txt
 	@echo "wrote BENCH_streaming.json"
 
-# bench-gate is the CI perf gate: run the benchmarks fresh, write the
-# result to BENCH_fresh.json (uploaded as an artifact), and fail if any
-# benchmark's ns/op regressed more than 25% against the committed
-# BENCH_streaming.json baseline. Three runs per benchmark; the compare
-# gates on each benchmark's best run, damping shared-runner noise.
+# bench-gate is the CI perf gate: run the benchmarks fresh (including
+# the serve -cpu matrix), write the result to BENCH_fresh.json
+# (uploaded as an artifact), and fail if any benchmark variant's ns/op
+# regressed more than 25% — or its speedup_vs_sequential dropped more
+# than 15% — against the committed BENCH_streaming.json baseline. On a
+# runner with fewer than 4 cores the multi-core variants and the
+# speedup metric are skipped with a visible warning instead of gated.
+# Three runs per benchmark; the compare gates on each variant's best
+# run, damping shared-runner noise.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 3 . > bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamingServe' -benchmem -count 3 -cpu 1,2,4,8 . >> bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	cat bench_streaming.txt
 	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_fresh.json || { rm -f bench_streaming.txt; exit 1; }
-	$(GO) run ./cmd/benchjson -compare BENCH_streaming.json -threshold 0.25 < bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -compare BENCH_streaming.json -threshold 0.25 -min-cores 4 < bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	@rm -f bench_streaming.txt
 
 # e2e exercises the full socket path: build lsmserve and lsmload, start

@@ -4,17 +4,32 @@
 //
 //	go test -run '^$' -bench 'BenchmarkStreaming' -benchmem . | benchjson
 //
-// Each parsed line becomes {name, runs, ns_per_op, bytes_per_op,
-// allocs_per_op, metrics{...}}; non-benchmark lines are ignored.
+// Each parsed line becomes {name, gomaxprocs, runs, ns_per_op,
+// bytes_per_op, allocs_per_op, metrics{...}}; non-benchmark lines are
+// ignored. A `-cpu 1,2,4,8` matrix keeps its variants distinct: the
+// -N name suffix is parsed into the gomaxprocs field rather than
+// discarded, and the report records the machine's core count
+// (num_cpu) so a reader can judge what the multi-core rows mean. For
+// parallel benchmarks named by -speedup (prefix=sequentialBase, by
+// default the sharded serve against the sequential serve), each
+// variant also gets metrics.speedup_vs_sequential — the sequential
+// baseline's ns/op at the same GOMAXPROCS divided by its own.
 //
 // With -compare the tool becomes the CI perf gate: fresh bench output
 // on stdin is compared against a committed baseline JSON, and any
-// benchmark whose ns/op, bytes/op or allocs/op regressed by more than
-// -threshold (default 0.25 = 25%) fails the run, with a failure line
-// naming the metric:
+// benchmark variant whose ns/op, bytes/op or allocs/op regressed by
+// more than -threshold (default 0.25 = 25%), or whose
+// speedup_vs_sequential dropped by more than 15%, fails the run, with
+// a failure line naming the metric:
 //
 //	go test -run '^$' -bench 'BenchmarkStreaming' -benchmem . \
 //	    | benchjson -compare BENCH_streaming.json
+//
+// Multi-core results are only meaningful on multi-core hardware: when
+// the machine has fewer than -min-cores cores (default 4), the gate
+// skips GOMAXPROCS>1 variants and the speedup metric with a loud
+// SKIP line per variant instead of judging parallel scaling a
+// single-core box cannot exhibit.
 //
 // Benchmarks present on only one side are reported but never fail the
 // gate — adding or retiring a benchmark is not a regression. A
@@ -31,13 +46,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
+// speedupMetric is the derived metric name for parallel benchmarks:
+// sequential-baseline ns/op divided by this variant's ns/op, at the
+// same GOMAXPROCS.
+const speedupMetric = "speedup_vs_sequential"
+
+// speedupDropThreshold is the allowed fractional drop in
+// speedup_vs_sequential before the gate fails: scaling wins are capped
+// by core count and scheduler noise, so the gate is looser than a raw
+// latency gate but still catches a parallel path quietly degrading to
+// sequential speed.
+const speedupDropThreshold = 0.15
+
 // Result is one parsed benchmark line.
 type Result struct {
 	Name        string             `json:"name"`
+	Gomaxprocs  int                `json:"gomaxprocs,omitempty"`
 	Runs        int64              `json:"runs"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
@@ -50,21 +79,48 @@ type Report struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// speedupSpec is the parsed -speedup flag: benchmarks whose name
+// starts with prefix are measured against the benchmark named base.
+type speedupSpec struct {
+	prefix string
+	base   string
+}
+
+// compareOpts parameterizes the gate.
+type compareOpts struct {
+	threshold float64     // allowed fractional regression per gated metric
+	speedup   speedupSpec // which benchmarks carry the speedup metric
+	numCPU    int         // cores on this machine
+	minCores  int         // below this, multi-core variants are skipped
 }
 
 func main() {
 	var (
 		baseline  = flag.String("compare", "", "baseline JSON to compare against; regressions beyond -threshold fail")
 		threshold = flag.Float64("threshold", 0.25, "allowed fractional ns/op regression in -compare mode")
+		speedup   = flag.String("speedup", "BenchmarkStreamingServeSharded=BenchmarkStreamingServe",
+			"prefix=base: annotate benchmarks matching prefix with speedup_vs_sequential against base (empty disables)")
+		minCores = flag.Int("min-cores", 4, "skip gating GOMAXPROCS>1 variants and speedup on machines with fewer cores")
 	)
 	flag.Parse()
+
+	spec, err := parseSpeedupSpec(*speedup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	report.NumCPU = runtime.NumCPU()
+	annotateSpeedup(report, spec)
 
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
@@ -77,7 +133,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
-		regressions, compared := compare(&base, report, *threshold, os.Stdout)
+		opts := compareOpts{threshold: *threshold, speedup: spec, numCPU: runtime.NumCPU(), minCores: *minCores}
+		if opts.numCPU < opts.minCores {
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: %d core(s) < -min-cores %d; multi-core variants and %s are not gated on this machine\n",
+				opts.numCPU, opts.minCores, speedupMetric)
+		}
+		regressions, compared := compare(&base, report, opts, os.Stdout)
 		if compared == 0 {
 			// A gate that measured nothing must not pass: an empty
 			// intersection means the bench run or the baseline broke.
@@ -100,6 +161,65 @@ func main() {
 	}
 }
 
+func parseSpeedupSpec(s string) (speedupSpec, error) {
+	if s == "" {
+		return speedupSpec{}, nil
+	}
+	prefix, base, ok := strings.Cut(s, "=")
+	if !ok || prefix == "" || base == "" {
+		return speedupSpec{}, fmt.Errorf("bad -speedup %q: want prefix=baseBenchmark", s)
+	}
+	return speedupSpec{prefix: prefix, base: base}, nil
+}
+
+// variantKey distinguishes -cpu matrix rows: GOMAXPROCS>1 variants get
+// the conventional -N suffix back, while single-proc rows keep the
+// bare name so legacy baselines (recorded before gomaxprocs existed)
+// still match.
+func variantKey(name string, gomaxprocs int) string {
+	if gomaxprocs > 1 {
+		return name + "-" + strconv.Itoa(gomaxprocs)
+	}
+	return name
+}
+
+// annotateSpeedup attaches metrics.speedup_vs_sequential to every
+// benchmark matching the spec prefix: the base benchmark's best ns/op
+// at the same GOMAXPROCS over this result's ns/op. Variants with no
+// same-GOMAXPROCS baseline are left unannotated — comparing across
+// different proc counts would flatter or slander the parallel path.
+func annotateSpeedup(report *Report, spec speedupSpec) {
+	if spec.prefix == "" {
+		return
+	}
+	seq := make(map[int]float64)
+	for _, r := range report.Benchmarks {
+		if r.Name != spec.base || r.NsPerOp <= 0 {
+			continue
+		}
+		if cur, ok := seq[r.Gomaxprocs]; !ok || r.NsPerOp < cur {
+			seq[r.Gomaxprocs] = r.NsPerOp
+		}
+	}
+	if len(seq) == 0 {
+		return
+	}
+	for i := range report.Benchmarks {
+		r := &report.Benchmarks[i]
+		if r.Name == spec.base || !strings.HasPrefix(r.Name, spec.prefix) || r.NsPerOp <= 0 {
+			continue
+		}
+		base, ok := seq[r.Gomaxprocs]
+		if !ok {
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[speedupMetric] = base / r.NsPerOp
+	}
+}
+
 // gatedMetric is one of the per-benchmark metrics the gate checks.
 type gatedMetric struct {
 	unit string
@@ -117,26 +237,38 @@ var gatedMetrics = []gatedMetric{
 
 // compare prints a delta table of fresh results against the baseline
 // and returns how many metric regressions exceeded the threshold and
-// how many benchmarks were compared at all. Each gated metric is
-// checked independently with its own failure line. Missing and new
-// benchmarks are informational only. Repeated results for one name
-// (`-count N`) are reduced to their per-metric minimum first —
+// how many benchmark variants were compared at all. Each gated metric
+// is checked independently with its own failure line; benchmarks
+// carrying speedup_vs_sequential additionally gate on that metric
+// dropping more than speedupDropThreshold. Variants are keyed by
+// (name, GOMAXPROCS), so a -cpu matrix gates each row separately.
+// Missing and new benchmarks are informational only, and on a machine
+// with fewer than minCores cores the multi-core rows and the speedup
+// metric are SKIPped rather than judged. Repeated results for one
+// variant (`-count N`) are reduced to their per-metric minimum first —
 // best-of-N is the standard noise damper for gating on shared CI
 // hardware, where co-tenancy inflates individual runs far more often
-// than it deflates them.
-func compare(base, fresh *Report, threshold float64, w io.Writer) (regressions, compared int) {
+// than it deflates them — and to the maximum for speedup, where
+// bigger is better.
+func compare(base, fresh *Report, opts compareOpts, w io.Writer) (regressions, compared int) {
 	baseBy := bestByName(base)
 	freshBy := bestByName(fresh)
+	gateMulti := opts.numCPU >= opts.minCores
 	reported := make(map[string]bool)
 	for _, r := range fresh.Benchmarks {
-		if reported[r.Name] {
+		key := variantKey(r.Name, r.Gomaxprocs)
+		if reported[key] {
 			continue
 		}
-		reported[r.Name] = true
-		f := freshBy[r.Name]
-		b, ok := baseBy[r.Name]
+		reported[key] = true
+		f := freshBy[key]
+		b, ok := baseBy[key]
 		if !ok {
-			fmt.Fprintf(w, "NEW   %-45s %14.0f ns/op\n", f.Name, f.NsPerOp)
+			fmt.Fprintf(w, "NEW   %-45s %14.0f ns/op\n", key, f.NsPerOp)
+			continue
+		}
+		if !gateMulti && f.Gomaxprocs > 1 {
+			fmt.Fprintf(w, "SKIP  %-45s (%d cores < %d: multi-core variant not gated)\n", key, opts.numCPU, opts.minCores)
 			continue
 		}
 		compared++
@@ -152,38 +284,55 @@ func compare(base, fresh *Report, threshold float64, w io.Writer) (regressions, 
 				// refreshing it with `make bench`.
 				if fv > 0 {
 					fmt.Fprintf(w, "%-5s %-45s %14.0f -> %14.0f %-9s (grew from zero baseline)\n",
-						"REGRESSION", f.Name, bv, fv, m.unit)
+						"REGRESSION", key, bv, fv, m.unit)
 					regressions++
 				}
 				continue
 			}
 			delta := (fv - bv) / bv
 			verdict := "ok"
-			if delta > threshold {
+			if delta > opts.threshold {
 				verdict = "REGRESSION"
 				regressions++
 			}
 			fmt.Fprintf(w, "%-5s %-45s %14.0f -> %14.0f %-9s (%+.1f%%)\n",
-				verdict, f.Name, bv, fv, m.unit, delta*100)
+				verdict, key, bv, fv, m.unit, delta*100)
+		}
+		if bs, fs := b.Metrics[speedupMetric], f.Metrics[speedupMetric]; bs > 0 && fs > 0 {
+			if !gateMulti {
+				fmt.Fprintf(w, "SKIP  %-45s (%d cores < %d: %s not gated)\n", key, opts.numCPU, opts.minCores, speedupMetric)
+				continue
+			}
+			drop := (bs - fs) / bs
+			verdict := "ok"
+			if drop > speedupDropThreshold {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-5s %-45s %14.2fx -> %13.2fx %-9s (%+.1f%%)\n",
+				verdict, key, bs, fs, speedupMetric, (fs-bs)/bs*100)
 		}
 	}
 	for _, b := range base.Benchmarks {
-		if !reported[b.Name] {
-			reported[b.Name] = true
-			fmt.Fprintf(w, "GONE  %-45s was %14.0f ns/op\n", b.Name, b.NsPerOp)
+		key := variantKey(b.Name, b.Gomaxprocs)
+		if !reported[key] {
+			reported[key] = true
+			fmt.Fprintf(w, "GONE  %-45s was %14.0f ns/op\n", key, b.NsPerOp)
 		}
 	}
 	return regressions, compared
 }
 
-// bestByName reduces each benchmark's repeated results to per-metric
-// minima (ns/op, B/op, allocs/op are each taken at their best run).
+// bestByName reduces each benchmark variant's repeated results to
+// per-metric minima (ns/op, B/op, allocs/op are each taken at their
+// best run) and the speedup metric to its maximum.
 func bestByName(r *Report) map[string]Result {
 	best := make(map[string]Result, len(r.Benchmarks))
 	for _, b := range r.Benchmarks {
-		cur, ok := best[b.Name]
+		key := variantKey(b.Name, b.Gomaxprocs)
+		cur, ok := best[key]
 		if !ok {
-			best[b.Name] = b
+			best[key] = b
 			continue
 		}
 		if b.NsPerOp < cur.NsPerOp {
@@ -195,7 +344,15 @@ func bestByName(r *Report) map[string]Result {
 		if b.AllocsPerOp < cur.AllocsPerOp {
 			cur.AllocsPerOp = b.AllocsPerOp
 		}
-		best[b.Name] = cur
+		if s := b.Metrics[speedupMetric]; s > cur.Metrics[speedupMetric] {
+			m := make(map[string]float64, len(cur.Metrics))
+			for k, v := range cur.Metrics {
+				m[k] = v
+			}
+			m[speedupMetric] = s
+			cur.Metrics = m
+		}
+		best[key] = cur
 	}
 	return best
 }
@@ -224,23 +381,28 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 // parseBenchLine parses one result line, e.g.
 //
 //	BenchmarkX-8  12  95104318 ns/op  40 B/op  2 allocs/op  6520 events
+//
+// The -N suffix is the GOMAXPROCS the run used (a -cpu matrix emits
+// one line per value); it is captured into the result rather than
+// folded away, so variants stay distinct.
 func parseBenchLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
 		return Result{}, false
 	}
 	name := fields[0]
+	procs := 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the GOMAXPROCS suffix.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
 			name = name[:i]
+			procs = n
 		}
 	}
 	runs, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: name, Runs: runs}
+	r := Result{Name: name, Gomaxprocs: procs, Runs: runs}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

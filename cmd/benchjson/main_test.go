@@ -16,6 +16,10 @@ PASS
 ok  	repro	4.189s
 `
 
+// gateOpts is the default gate configuration for tests: a machine with
+// enough cores that nothing is skipped.
+var gateOpts = compareOpts{threshold: 0.25, numCPU: 8, minCores: 4}
+
 func TestParse(t *testing.T) {
 	report, err := parse(bufio.NewScanner(strings.NewReader(sample)))
 	if err != nil {
@@ -29,7 +33,10 @@ func TestParse(t *testing.T) {
 	}
 	b0 := report.Benchmarks[0]
 	if b0.Name != "BenchmarkStreamingGenerateSequential" {
-		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b0.Name)
+		t.Errorf("name = %q (GOMAXPROCS suffix must be split off)", b0.Name)
+	}
+	if b0.Gomaxprocs != 8 {
+		t.Errorf("gomaxprocs = %d, want 8 (the -N suffix must be captured)", b0.Gomaxprocs)
 	}
 	if b0.Runs != 12 || b0.NsPerOp != 95104318 || b0.BytesPerOp != 7340032 || b0.AllocsPerOp != 12345 {
 		t.Errorf("values: %+v", b0)
@@ -37,6 +44,137 @@ func TestParse(t *testing.T) {
 	b1 := report.Benchmarks[1]
 	if b1.Metrics["events"] != 19560 {
 		t.Errorf("custom metric lost: %+v", b1)
+	}
+}
+
+// TestParseCPUMatrix: a -cpu 1,2,4 run emits one line per GOMAXPROCS;
+// each must survive as its own variant rather than collapsing.
+func TestParseCPUMatrix(t *testing.T) {
+	matrix := `BenchmarkServe     	      10	 100 ns/op
+BenchmarkServe-2   	      10	  60 ns/op
+BenchmarkServe-4   	      10	  40 ns/op
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(matrix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d variants, want 3", len(report.Benchmarks))
+	}
+	for i, want := range []int{1, 2, 4} {
+		if got := report.Benchmarks[i].Gomaxprocs; got != want {
+			t.Errorf("variant %d gomaxprocs = %d, want %d", i, got, want)
+		}
+		if report.Benchmarks[i].Name != "BenchmarkServe" {
+			t.Errorf("variant %d name = %q", i, report.Benchmarks[i].Name)
+		}
+	}
+}
+
+// TestAnnotateSpeedup: parallel variants get speedup_vs_sequential
+// against the sequential base at the same GOMAXPROCS, and only there.
+func TestAnnotateSpeedup(t *testing.T) {
+	report := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServe", Gomaxprocs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkServe", Gomaxprocs: 4, NsPerOp: 900},
+		{Name: "BenchmarkServeSharded4", Gomaxprocs: 1, NsPerOp: 1100},
+		{Name: "BenchmarkServeSharded4", Gomaxprocs: 4, NsPerOp: 300},
+		{Name: "BenchmarkServeSharded4", Gomaxprocs: 16, NsPerOp: 200}, // no base at 16
+		{Name: "BenchmarkUnrelated", Gomaxprocs: 4, NsPerOp: 50},
+	}}
+	annotateSpeedup(report, speedupSpec{prefix: "BenchmarkServeSharded", base: "BenchmarkServe"})
+
+	want := map[int]float64{1: 1000.0 / 1100, 4: 900.0 / 300}
+	for _, r := range report.Benchmarks {
+		switch {
+		case r.Name == "BenchmarkServeSharded4" && r.Gomaxprocs == 16:
+			if _, ok := r.Metrics[speedupMetric]; ok {
+				t.Error("speedup computed without a same-GOMAXPROCS baseline")
+			}
+		case r.Name == "BenchmarkServeSharded4":
+			if got := r.Metrics[speedupMetric]; got != want[r.Gomaxprocs] {
+				t.Errorf("gomaxprocs=%d speedup = %v, want %v", r.Gomaxprocs, got, want[r.Gomaxprocs])
+			}
+		default:
+			if _, ok := r.Metrics[speedupMetric]; ok {
+				t.Errorf("%s wrongly annotated", r.Name)
+			}
+		}
+	}
+}
+
+// TestCompareGatesSpeedup: a speedup_vs_sequential drop beyond 15%
+// fails the gate even when raw ns/op stays inside its own threshold.
+func TestCompareGatesSpeedup(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkSharded", Gomaxprocs: 4, NsPerOp: 1000,
+			Metrics: map[string]float64{speedupMetric: 2.0}},
+	}}
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkSharded", Gomaxprocs: 4, NsPerOp: 1150, // +15% ns: inside 25%
+			Metrics: map[string]float64{speedupMetric: 1.5}}, // -25% speedup: regression
+	}}
+	var out strings.Builder
+	got, compared := compare(base, fresh, gateOpts, &out)
+	if got != 1 || compared != 1 {
+		t.Fatalf("regressions = %d compared = %d, want 1 and 1\n%s", got, compared, out.String())
+	}
+	if !strings.Contains(out.String(), speedupMetric) {
+		t.Errorf("failure line does not name the speedup metric:\n%s", out.String())
+	}
+
+	// A drop within 15% passes.
+	fresh.Benchmarks[0].Metrics[speedupMetric] = 1.8
+	out.Reset()
+	if got, _ := compare(base, fresh, gateOpts, &out); got != 0 {
+		t.Fatalf("10%% speedup wobble gated:\n%s", out.String())
+	}
+}
+
+// TestCompareVariantKeys: -cpu matrix rows gate independently — a
+// regression at GOMAXPROCS=4 must be caught even when the =1 row
+// improved.
+func TestCompareVariantKeys(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServe", Gomaxprocs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkServe", Gomaxprocs: 4, NsPerOp: 400},
+	}}
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServe", Gomaxprocs: 1, NsPerOp: 900},
+		{Name: "BenchmarkServe", Gomaxprocs: 4, NsPerOp: 800},
+	}}
+	var out strings.Builder
+	got, compared := compare(base, fresh, gateOpts, &out)
+	if got != 1 || compared != 2 {
+		t.Fatalf("regressions = %d compared = %d, want 1 and 2\n%s", got, compared, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkServe-4") {
+		t.Errorf("failure not attributed to the -4 variant:\n%s", out.String())
+	}
+}
+
+// TestCompareSkipsMultiCoreOnSmallMachines: below min-cores, multi-core
+// variants and the speedup metric are SKIPped, never failed — but the
+// single-proc rows still gate.
+func TestCompareSkipsMultiCoreOnSmallMachines(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServe", Gomaxprocs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkSharded", Gomaxprocs: 4, NsPerOp: 400,
+			Metrics: map[string]float64{speedupMetric: 2.5}},
+	}}
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServe", Gomaxprocs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkSharded", Gomaxprocs: 4, NsPerOp: 4000, // 10×: meaningless on 1 core
+			Metrics: map[string]float64{speedupMetric: 0.3}},
+	}}
+	small := compareOpts{threshold: 0.25, numCPU: 1, minCores: 4}
+	var out strings.Builder
+	got, compared := compare(base, fresh, small, &out)
+	if got != 0 || compared != 1 {
+		t.Fatalf("regressions = %d compared = %d, want 0 and 1\n%s", got, compared, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Errorf("skipped variant not visibly reported:\n%s", out.String())
 	}
 }
 
@@ -62,7 +200,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		{Name: "BenchmarkNew", NsPerOp: 10},
 	}}
 	var out strings.Builder
-	got, compared := compare(base, fresh, 0.25, &out)
+	got, compared := compare(base, fresh, gateOpts, &out)
 	if got != 1 || compared != 2 {
 		t.Fatalf("regressions = %d compared = %d, want 1 and 2\n%s", got, compared, out.String())
 	}
@@ -78,12 +216,12 @@ func TestCompareImprovementAndExactPass(t *testing.T) {
 	base := &Report{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 1000}}}
 	fresh := &Report{Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 700}}}
 	var out strings.Builder
-	if got, _ := compare(base, fresh, 0.25, &out); got != 0 {
+	if got, _ := compare(base, fresh, gateOpts, &out); got != 0 {
 		t.Fatalf("improvement counted as regression:\n%s", out.String())
 	}
 	// Exactly at the threshold is not a regression (strictly beyond).
 	fresh.Benchmarks[0].NsPerOp = 1250
-	if got, _ := compare(base, fresh, 0.25, &out); got != 0 {
+	if got, _ := compare(base, fresh, gateOpts, &out); got != 0 {
 		t.Fatal("threshold boundary counted as regression")
 	}
 }
@@ -104,7 +242,7 @@ func TestCompareGatesAllocsAndBytes(t *testing.T) {
 		{Name: "BenchmarkZeroAlloc", NsPerOp: 510, BytesPerOp: 96, AllocsPerOp: 3},
 	}}
 	var out strings.Builder
-	got, compared := compare(base, fresh, 0.25, &out)
+	got, compared := compare(base, fresh, gateOpts, &out)
 	if got != 4 || compared != 2 {
 		t.Fatalf("regressions = %d compared = %d, want 4 and 2\n%s", got, compared, out.String())
 	}
@@ -123,7 +261,7 @@ func TestCompareGatesAllocsAndBytes(t *testing.T) {
 	// A fresh run that stays at zero passes.
 	steady := &Report{Benchmarks: []Result{{Name: "BenchmarkZeroAlloc", NsPerOp: 505}}}
 	out.Reset()
-	if got, _ := compare(base, steady, 0.25, &out); got != 0 {
+	if got, _ := compare(base, steady, gateOpts, &out); got != 0 {
 		t.Fatalf("steady zero-alloc benchmark flagged:\n%s", out.String())
 	}
 }
@@ -140,7 +278,7 @@ func TestCompareBestOfNPerMetric(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 1400, AllocsPerOp: 100}, // slow but alloc-clean
 	}}
 	var out strings.Builder
-	if got, _ := compare(base, fresh, 0.25, &out); got != 0 {
+	if got, _ := compare(base, fresh, gateOpts, &out); got != 0 {
 		t.Fatalf("per-metric best-of-N not applied:\n%s", out.String())
 	}
 }
@@ -156,7 +294,7 @@ func TestCompareBestOfNAndEmptyIntersection(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 1300},
 	}}
 	var out strings.Builder
-	got, compared := compare(base, fresh, 0.25, &out)
+	got, compared := compare(base, fresh, gateOpts, &out)
 	if got != 0 || compared != 1 {
 		t.Fatalf("best-of-N not applied: regressions=%d compared=%d\n%s", got, compared, out.String())
 	}
@@ -165,7 +303,7 @@ func TestCompareBestOfNAndEmptyIntersection(t *testing.T) {
 	}
 
 	disjoint := &Report{Benchmarks: []Result{{Name: "BenchmarkRenamed", NsPerOp: 10}}}
-	if _, compared := compare(base, disjoint, 0.25, &out); compared != 0 {
+	if _, compared := compare(base, disjoint, gateOpts, &out); compared != 0 {
 		t.Fatalf("disjoint sets reported %d compared", compared)
 	}
 }

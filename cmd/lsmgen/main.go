@@ -12,10 +12,11 @@
 // generator feeds the sharded simulator event by event and log entries
 // go straight to the daily files, so memory stays O(active sessions)
 // instead of O(total requests) — the mode for paper-scale (-scale 1)
-// runs. -shards sets the generator shard count and -lanes the serve
-// worker count (0 = one per CPU each). The emitted logs are
-// byte-identical between the streaming and the materializing path for
-// the same seed, at any shard or lane count.
+// runs. -shards sets the generator shard count and -serve-lanes the
+// serve worker count (0 = one per schedulable CPU each; -lanes is the
+// deprecated alias). The emitted logs are byte-identical between the
+// streaming and the materializing path for the same seed, at any shard
+// or lane count.
 //
 // The profiling flags (internal/prof) capture the run as pprof/trace
 // artifacts; `make profile` is the canonical profiling invocation.
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/gismo"
 	"repro/internal/prof"
@@ -40,15 +42,16 @@ import (
 
 // options collects the CLI parameters.
 type options struct {
-	out       string
-	scale     float64
-	days      int
-	seed      int64
-	modelPath string
-	loadPath  string
-	stream    bool
-	shards    int
-	lanes     int
+	out        string
+	scale      float64
+	days       int
+	seed       int64
+	modelPath  string
+	loadPath   string
+	stream     bool
+	shards     int
+	lanes      int
+	serveLanes int
 }
 
 func main() {
@@ -62,7 +65,8 @@ func main() {
 	flag.StringVar(&o.loadPath, "load", "", "optional model JSON to load instead of -scale/-days")
 	flag.BoolVar(&o.stream, "stream", false, "streaming mode: O(active sessions) memory, logs written as served")
 	flag.IntVar(&o.shards, "shards", 0, "generator shards in streaming mode (0 = one per CPU)")
-	flag.IntVar(&o.lanes, "lanes", 0, "serve worker lanes in streaming mode (0 = one per CPU)")
+	flag.IntVar(&o.serveLanes, "serve-lanes", 0, "serve worker lanes in streaming mode (0 = one per schedulable CPU)")
+	flag.IntVar(&o.lanes, "lanes", 0, "deprecated alias for -serve-lanes")
 	profiles.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if o.out == "" {
@@ -165,9 +169,12 @@ func runStreaming(o options, model gismo.Model) error {
 	if shards == 0 {
 		shards = gismo.DefaultShards()
 	}
-	lanes := o.lanes
+	lanes := o.serveLanes
 	if lanes == 0 {
-		lanes = gismo.DefaultShards()
+		lanes = o.lanes // deprecated -lanes alias
+	}
+	if lanes == 0 {
+		lanes = simulate.DefaultServeLanes()
 	}
 	rng := rand.New(rand.NewSource(o.seed))
 	ws, err := gismo.NewStream(model, rng.Int63(), shards)
@@ -175,8 +182,8 @@ func runStreaming(o options, model gismo.Model) error {
 		return err
 	}
 	defer ws.Close()
-	fmt.Printf("streaming: %d clients, %d-day horizon, seed %d, %d shards, %d serve lanes\n",
-		model.NumClients, model.Horizon/86400, o.seed, shards, lanes)
+	fmt.Printf("streaming: %d clients, %d-day horizon, seed %d, %d shards, %d serve lanes, GOMAXPROCS %d\n",
+		model.NumClients, model.Horizon/86400, o.seed, shards, lanes, runtime.GOMAXPROCS(0))
 
 	dw, err := wmslog.NewDailyWriter(o.out)
 	if err != nil {

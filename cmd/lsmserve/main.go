@@ -7,8 +7,14 @@
 //
 //	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
 //	         [-max-conns 256] [-write-timeout 10s] [-idle-timeout 60s]
+//	         [-serve-lanes N]
 //	         [-fleet host:port] [-advertise host:port] [-beat 500ms]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -serve-lanes caps how many CPUs the server schedules across
+// (GOMAXPROCS); 0 — the default — uses every schedulable CPU, matching
+// the simulator's serve-lane default so a node sized for N lanes
+// behaves the same offline and online.
 //
 // -fleet joins the node to an lsmfleet redirector: the node registers
 // its address (-advertise overrides what it announces, for NAT or
@@ -35,6 +41,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -54,6 +61,7 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 10*time.Second, "disconnect a client that stops reading after this long (0 disables)")
 		idleTO   = flag.Duration("idle-timeout", 60*time.Second, "drop connections silent outside a transfer for this long (0 disables)")
 		maxConnO = flag.Int("maxconns", 0, "deprecated alias for -max-conns")
+		lanes    = flag.Int("serve-lanes", 0, "CPUs to schedule across (GOMAXPROCS; 0 = all)")
 
 		fleet     = flag.String("fleet", "", "register with the lsmfleet redirector at this address and heartbeat load")
 		advertise = flag.String("advertise", "", "address to advertise to the fleet (default: the actual listen address)")
@@ -66,6 +74,9 @@ func main() {
 	if *maxConnO != 0 {
 		*maxConn = *maxConnO
 	}
+	if *lanes > 0 {
+		runtime.GOMAXPROCS(*lanes)
+	}
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
 		os.Exit(1)
@@ -77,7 +88,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("live streaming server on %s (%d bit/s)\n", app.srv.Addr(), *rate)
+	fmt.Printf("live streaming server on %s (%d bit/s, %d serve lanes)\n",
+		app.srv.Addr(), *rate, runtime.GOMAXPROCS(0))
 	if *fleet != "" {
 		if err := app.joinFleet(*fleet, *advertise, *beat); err != nil {
 			app.shutdown()

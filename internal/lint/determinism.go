@@ -18,6 +18,7 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/dist":     true,
 	"repro/internal/sessions": true,
 	"repro/internal/rate":     true,
+	"repro/internal/ring":     true,
 }
 
 // wallclockFuncs are the package time functions that read (or schedule

@@ -1,0 +1,126 @@
+package ring
+
+import "fmt"
+
+// Reorder is a dense-sequence reorder window: items tagged with dense
+// sequence numbers (0, 1, 2, …) arrive in any order and drain in
+// sequence. Because the sequence is dense, slot addressing is direct —
+// seq & mask — so Place and PeekNext are O(1) with no comparator
+// calls, unlike the heap it replaces: a heap pays O(log n) plus a
+// less-func call per push AND per pop even when the input is already
+// nearly sorted, which is exactly the dense-seq case.
+//
+// The window spans [Next, Next+Cap): Placeable reports whether a
+// sequence currently fits, and the caller is expected to leave
+// out-of-window items at their source (for the sharded collector:
+// parked in the producing lane's SPSC ring, which backpressures that
+// lane) until the window advances. Place on an out-of-window or
+// duplicate sequence — which the pipeline's bounded occupancy makes
+// impossible — fails loudly with a diagnostic error rather than
+// silently corrupting order.
+type Reorder[T any] struct {
+	slots  []T
+	filled []bool
+	mask   uint64
+	next   uint64 // lowest sequence not yet released
+	count  int
+}
+
+// NewReorder returns a window holding at least capacity items (rounded
+// up to a power of two).
+func NewReorder[T any](capacity int) *Reorder[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Reorder[T]{
+		slots:  make([]T, n),
+		filled: make([]bool, n),
+		mask:   uint64(n - 1),
+	}
+}
+
+// Cap returns the window capacity.
+func (r *Reorder[T]) Cap() int { return len(r.slots) }
+
+// Len returns the number of items currently buffered.
+func (r *Reorder[T]) Len() int { return r.count }
+
+// Next returns the lowest sequence number not yet released — the
+// window's lower bound.
+func (r *Reorder[T]) Next() uint64 { return r.next }
+
+// Placeable reports whether seq currently fits in the window.
+//
+//lsm:hotpath
+func (r *Reorder[T]) Placeable(seq uint64) bool {
+	return seq >= r.next && seq-r.next < uint64(len(r.slots))
+}
+
+// Place buffers v at seq. A sequence outside the window (stale or too
+// far ahead) or already occupied is a pipeline invariant violation and
+// returns a diagnostic error; the caller must treat it as fatal.
+//
+//lsm:hotpath
+func (r *Reorder[T]) Place(seq uint64, v T) error {
+	if seq < r.next {
+		//lsm:alloc -- impossible-by-construction failure diagnostics, never on the hot path
+		return fmt.Errorf("ring: reorder sequence %d already released (window starts at %d)", seq, r.next)
+	}
+	if seq-r.next >= uint64(len(r.slots)) {
+		//lsm:alloc -- impossible-by-construction failure diagnostics, never on the hot path
+		return fmt.Errorf("ring: reorder overflow: sequence %d outside window [%d, %d)", seq, r.next, r.next+uint64(len(r.slots)))
+	}
+	i := seq & r.mask
+	if r.filled[i] {
+		//lsm:alloc -- impossible-by-construction failure diagnostics, never on the hot path
+		return fmt.Errorf("ring: duplicate reorder sequence %d", seq)
+	}
+	r.slots[i] = v
+	r.filled[i] = true
+	r.count++
+	return nil
+}
+
+// PeekNext returns a pointer to the item at the window's lower bound,
+// or (nil, false) if it has not arrived yet. The pointee is valid
+// until the matching Release.
+//
+//lsm:hotpath
+func (r *Reorder[T]) PeekNext() (*T, bool) {
+	i := r.next & r.mask
+	if !r.filled[i] {
+		return nil, false
+	}
+	return &r.slots[i], true
+}
+
+// Skip advances the window past a sequence that never arrived and
+// never will — the abort-drain path, where in-flight sequences were
+// discarded at their source. It panics if the next slot is filled
+// (Release consumes placed items).
+func (r *Reorder[T]) Skip() {
+	if r.filled[r.next&r.mask] {
+		panic("ring: Skip over a placed sequence")
+	}
+	r.next++
+}
+
+// Release frees the slot PeekNext returned and advances the window.
+// It panics if the next item has not been placed.
+//
+//lsm:hotpath
+func (r *Reorder[T]) Release() {
+	i := r.next & r.mask
+	if !r.filled[i] {
+		panic("ring: Release before the next sequence was placed")
+	}
+	var zero T
+	r.slots[i] = zero // drop slot references promptly
+	r.filled[i] = false
+	r.next++
+	r.count--
+}

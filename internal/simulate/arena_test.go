@@ -1,0 +1,82 @@
+package simulate
+
+import "testing"
+
+// TestLaneArenaChunkLifetime pins the arena's refcount protocol: a
+// chunk recycles exactly when it is sealed (the worker moved on) AND
+// every entry has been released (the collector sank them) — never
+// while either side still holds it.
+func TestLaneArenaChunkLifetime(t *testing.T) {
+	a := newLaneArena()
+	type handle struct{ c *entryChunk }
+	hs := make([]handle, 0, 2*entryChunkSize)
+	for i := 0; i < 2*entryChunkSize; i++ {
+		e, c := a.get()
+		e.Duration = int64(i)
+		hs = append(hs, handle{c})
+	}
+	first := hs[0].c
+	if hs[entryChunkSize-1].c != first {
+		t.Fatal("first chunk sealed before entryChunkSize entries")
+	}
+	second := hs[entryChunkSize].c
+	if second == first {
+		t.Fatal("chunk did not turn over at entryChunkSize entries")
+	}
+
+	// The first chunk is sealed (the arena allocates from the second);
+	// releasing all but one of its entries must not recycle it.
+	for _, h := range hs[:entryChunkSize-1] {
+		h.c.release()
+	}
+	if len(a.free) != 0 {
+		t.Fatal("chunk recycled with an entry still outstanding")
+	}
+	hs[entryChunkSize-1].c.release()
+	if len(a.free) != 1 {
+		t.Fatalf("sealed fully-released chunk not recycled: free = %d", len(a.free))
+	}
+
+	// The second chunk is still open: releasing every entry must not
+	// recycle it — the worker's open-hold keeps it alive for further
+	// allocation.
+	for _, h := range hs[entryChunkSize:] {
+		h.c.release()
+	}
+	if len(a.free) != 1 {
+		t.Fatal("open chunk recycled out from under the worker")
+	}
+	a.close()
+	if len(a.free) != 2 {
+		t.Fatalf("free chunks after close = %d, want 2", len(a.free))
+	}
+
+	// A fresh allocation must reuse a recycled chunk, not grow the heap.
+	_, c := a.get()
+	if c != first && c != second {
+		t.Fatal("allocation after recycle did not reuse a free chunk")
+	}
+	a.close()
+}
+
+// TestChunkReleaserRoutesToOwner: the collector-side pool releases each
+// entry to its owning chunk and tolerates chunkless (sequential-path)
+// entries.
+func TestChunkReleaserRoutesToOwner(t *testing.T) {
+	a := newLaneArena()
+	e, c := a.get()
+	a.seal()
+	var r chunkReleaser
+	r.put(e, c)
+	if len(a.free) != 1 {
+		t.Fatal("release through chunkReleaser did not recycle the sealed chunk")
+	}
+	r.put(nil, nil) // chunkless entries are a no-op, not a crash
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("chunkReleaser.get did not panic")
+		}
+	}()
+	r.get()
+}

@@ -2,24 +2,57 @@ package simulate
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/gismo"
-	"repro/internal/heapx"
+	"repro/internal/ring"
 	"repro/internal/workload"
 )
 
 const (
-	// serveBatch is the number of events handed across each pipeline
-	// channel per operation, amortizing channel overhead.
-	serveBatch = 512
-	// serveDepth is the per-lane input channel depth, bounding how far
-	// the dispatcher runs ahead of a worker.
-	serveDepth = 4
+	// laneRingDepth is the capacity of each lane's input and output
+	// SPSC ring: how far the dispatcher may run ahead of a worker, and
+	// a worker ahead of the collector, before backpressure parks them.
+	laneRingDepth = 512
+	// maxReorderWindow caps the collector's reorder window so a huge
+	// lane count cannot balloon the collector's footprint.
+	maxReorderWindow = 32768
 	// MaxServeLanes bounds the serve worker count.
 	MaxServeLanes = 1024
 )
+
+// DefaultServeLanes is the default serve-lane count: one lane per
+// schedulable CPU (GOMAXPROCS), clamped to [1, MaxServeLanes]. The
+// served log is byte-identical at any lane count, so the default only
+// chooses throughput, never output.
+func DefaultServeLanes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxServeLanes {
+		n = MaxServeLanes
+	}
+	return n
+}
+
+// reorderWindow sizes the collector's reorder window: one full output
+// ring per lane, so the rings — not the window — are what backpressure
+// a lane that runs ahead. Any size ≥ 1 is deadlock-free (see the
+// liveness note on RunStreamSharded); the size only sets how often a
+// skewed lane mix stalls placement.
+func reorderWindow(lanes int) int {
+	w := lanes * laneRingDepth
+	if w > maxReorderWindow {
+		w = maxReorderWindow
+	}
+	if w < 2*laneRingDepth {
+		w = 2 * laneRingDepth
+	}
+	return w
+}
 
 // laneItem is one admitted event on its way to a serve worker: the
 // event, its global admission sequence number, and the concurrency
@@ -39,13 +72,28 @@ type laneResult struct {
 	sv    served
 }
 
+// releaseServed returns a discarded result's pooled entries to their
+// owning lane chunks — the abort path, where no sink will ever see
+// them.
+func releaseServed(sv *served) {
+	if sv.entryC != nil {
+		sv.entryC.release()
+	}
+	if sv.dupC != nil {
+		sv.dupC.release()
+	}
+	sv.entry, sv.entryC = nil, nil
+	sv.dup, sv.dupC = nil, nil
+}
+
 // RunStreamSharded is the parallel form of RunStream: a serial
 // dispatcher admits events in start order (computing the concurrency
-// level, the only cross-event state), hash-partitions them across
-// lanes client lanes, each lane worker computes its transfers' server-
-// model draws and log entries independently, and a collector reorders
-// the results back into admission order (by sequence number) before
-// running the same end-time reorder buffer as the sequential path.
+// level, the only cross-event state) and hash-partitions them across
+// lanes client lanes; each lane worker computes its transfers'
+// server-model draws and log entries independently, allocating entries
+// from a private arena (see arena.go); and a collector merges the lane
+// outputs back into admission order before running the same end-time
+// reorder buffer as the sequential path.
 //
 // Because every per-transfer draw is a pure function of (seed, event
 // identity) — see serveLane — and the collector restores the exact
@@ -53,12 +101,23 @@ type laneResult struct {
 // RunStream produces: the served log is invariant under the lane
 // count. lanes = 1 runs the same pipeline with a single worker.
 //
-// Liveness: all workers share one output channel and the collector
-// only ever blocks on it, so a lane that happens to receive few (or
-// no) events can never wedge the pipeline; the dispatcher force-
-// flushes every partial batch once per serveBatch admissions, which
-// bounds both the collector's reorder buffer and the latency of a
-// cold lane's events.
+// Every handoff is a bounded SPSC ring (internal/ring): dispatcher →
+// worker and worker → collector each have exactly one producer and one
+// consumer, so an item crosses a stage for a slot copy plus one atomic
+// store — no locks, no channel ops, no per-item allocation. The
+// collector multiplexes all output rings through one shared gate and
+// places results into a dense-sequence reorder window, leaving any
+// result outside the window parked in its lane's ring (which
+// backpressures that lane).
+//
+// Liveness: the result the collector needs next (seq == window lower
+// bound) always flows unobstructed — every earlier sequence has been
+// emitted, so nothing ahead of it in its lane's rings is blocked, and
+// its window slot is by definition free. A lane that receives few (or
+// no) events closes its rings at end of stream, which the collector
+// observes through the same gate. On abort (a sink error), the stop
+// channel unparks every stage and the collector drains the rings,
+// releasing entries, until all lanes close.
 func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64, cfg Config, seed uint64, lanes int, sinks StreamSinks) (*StreamResult, error) {
 	if lanes < 1 || lanes > MaxServeLanes {
 		return nil, fmt.Errorf("%w: serve lanes %d", ErrBadConfig, lanes)
@@ -73,143 +132,100 @@ func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64,
 		return nil, fmt.Errorf("%w: horizon %d", ErrBadConfig, horizon)
 	}
 
-	pool := newSyncEntryPool()
 	stop := make(chan struct{}) // closed by the collector on abort
-	laneCh := make([]chan []laneItem, lanes)
+	collGate := ring.NewGate()  // shared consumer gate: one park site for all output rings
+	in := make([]*ring.SPSC[laneItem], lanes)
+	out := make([]*ring.SPSC[laneResult], lanes)
 	for k := 0; k < lanes; k++ {
-		laneCh[k] = make(chan []laneItem, serveDepth)
+		in[k] = ring.NewSPSC[laneItem](laneRingDepth, ring.NewGate(), ring.NewGate())
+		out[k] = ring.NewSPSC[laneResult](laneRingDepth, ring.NewGate(), collGate)
 	}
-	outCh := make(chan []laneResult, lanes*serveDepth)
-	// Batch slices cycle between the stages through sync.Pools, so the
-	// steady-state pipeline allocates no per-batch garbage.
-	itemBatches := &batchPool[laneItem]{}
-	resultBatches := &batchPool[laneResult]{}
 
 	// Dispatcher: the serial prologue. Validates the stream, tracks
-	// concurrency, and fans events out by client hash. Its error and
-	// the concurrency peak are published before the lane channels
-	// close, which happens-before outCh closes (via the worker
-	// WaitGroup), which happens-before the collector reads them.
+	// concurrency, and fans events out by client hash, one ring push
+	// per event. Its error and the concurrency peak are published
+	// before the input rings close — which happens-before each worker's
+	// output ring closes, which happens-before the collector's final
+	// reads (via the WaitGroups below).
 	var dispatchErr error
 	var peak int
 	var admitted int64
+	var dispatcherDone sync.WaitGroup
+	dispatcherDone.Add(1)
 	go func() {
-		defer func() {
-			for _, ch := range laneCh {
-				close(ch)
-			}
-		}()
-		defer workload.CloseStream(src)
+		defer dispatcherDone.Done()
 		concurrency := newConcurrencyTracker()
-		batches := make([][]laneItem, lanes)
-		for k := range batches {
-			batches[k] = itemBatches.get()
-		}
-		send := func(lane int) bool {
-			select {
-			case laneCh[lane] <- batches[lane]:
-				batches[lane] = itemBatches.get()
-				return true
-			case <-stop:
-				return false
-			}
-		}
 		var lastStart int64
 		var seq int64
+		defer func() {
+			workload.CloseStream(src)
+			peak = concurrency.peak
+			admitted = seq
+			for _, r := range in {
+				r.Close()
+			}
+		}()
 		for {
 			ev, ok := src.Next()
 			if !ok {
-				break
+				return
 			}
 			if ev.Client < 0 || ev.Client >= pop.Size() {
 				dispatchErr = fmt.Errorf("%w: client %d outside population of %d", ErrBadConfig, ev.Client, pop.Size())
-				break
+				return
 			}
 			if seq > 0 && ev.Start < lastStart {
 				dispatchErr = fmt.Errorf("%w: stream not in start order (%d after %d)", ErrBadConfig, ev.Start, lastStart)
-				break
+				return
 			}
 			lastStart = ev.Start
 			conc := concurrency.admit(ev.Start, ev.End())
 			lane := int(dist.Mix64(uint64(ev.Client), laneHash) % uint64(lanes))
-			batches[lane] = append(batches[lane], laneItem{ev: ev, seq: seq, conc: int32(conc)})
+			if !in[lane].Push(laneItem{ev: ev, seq: seq, conc: int32(conc)}, stop) {
+				return // aborted
+			}
 			seq++
-			if len(batches[lane]) == serveBatch {
-				if !send(lane) {
-					return
-				}
-			}
-			// Flush cadence: a skewed client hash must not strand a
-			// cold lane's partial batch (and with it a low seq the
-			// collector is waiting to emit) while hot lanes stream on.
-			if seq%serveBatch == 0 {
-				for l := range batches {
-					if len(batches[l]) > 0 && !send(l) {
-						return
-					}
-				}
-			}
 		}
-		for lane, b := range batches {
-			if len(b) == 0 {
-				continue
-			}
-			select {
-			case laneCh[lane] <- b:
-			case <-stop:
-				return
-			}
-		}
-		peak = concurrency.peak
-		admitted = seq
 	}()
 
 	// Lane workers: all the per-transfer computation — server-model
-	// draws, byte accounting, entry rendering into pooled entries —
-	// runs here, in parallel across lanes, funneling into the shared
-	// output channel.
+	// draws, byte accounting, entry rendering into arena-backed
+	// entries — runs here, in parallel across lanes, each lane
+	// funneling into its own output ring.
 	var workers sync.WaitGroup
 	workers.Add(lanes)
 	for k := 0; k < lanes; k++ {
 		go func(k int) {
 			defer workers.Done()
-			es := newEventServer(&cfg, pop, horizon, seed, pool, sinks)
-			out := resultBatches.get()
-			flush := func() bool {
-				select {
-				case outCh <- out:
-					out = resultBatches.get()
-					return true
-				case <-stop:
-					return false
+			defer out[k].Close()
+			arena := newLaneArena()
+			defer arena.close()
+			es := newEventServer(&cfg, pop, horizon, seed, arena, sinks)
+			var r laneResult
+			for {
+				it, ok := in[k].Pop(stop)
+				if !ok {
+					return // input drained, or aborted
 				}
-			}
-			for batch := range laneCh[k] {
-				for _, it := range batch {
-					out = append(out, laneResult{seq: it.seq, start: it.ev.Start})
-					es.serve(it.ev, int(it.conc), &out[len(out)-1].sv)
-				}
-				itemBatches.put(batch)
-				// One result batch per input batch: results reach the
-				// collector as promptly as events reached the worker.
-				if len(out) > 0 && !flush() {
+				r.seq = it.seq
+				r.start = it.ev.Start
+				es.serve(it.ev, int(it.conc), &r.sv)
+				if !out[k].Push(r, stop) {
+					releaseServed(&r.sv) // aborted: nobody will sink it
 					return
 				}
 			}
 		}(k)
 	}
-	go func() {
-		workers.Wait()
-		close(outCh)
-	}()
 
-	// Collector (this goroutine): reorder the shared result stream
-	// back into global admission order with a min-heap on seq —
-	// sequence numbers are dense, so the heap drains every run of
-	// contiguous results — then run the identical transfer-sink /
-	// reorder-buffer emission logic as the sequential path.
+	// Collector (this goroutine): place each lane's results into a
+	// dense-sequence reorder window, drain the window in admission
+	// order through the same transfer-sink / end-time-buffer emission
+	// logic as the sequential path, and release each entry's arena
+	// chunk once its sink call returns.
 	res := &StreamResult{}
-	pending := newPendingEntries(pool)
+	pending := newPendingEntries(chunkReleaser{})
+	reorder := ring.NewReorder[laneResult](reorderWindow(lanes))
 	var firstErr error
 	abort := func(err error) {
 		if firstErr == nil {
@@ -217,91 +233,154 @@ func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64,
 			close(stop)
 		}
 	}
-	emit := func(r laneResult) error {
+	emit := func(r *laneResult) error {
+		sv := &r.sv
 		if err := pending.flushThrough(r.start, false, sinks.Entry); err != nil {
+			releaseServed(sv)
 			return err
 		}
 		res.Transfers++
-		res.TotalBytes += r.sv.bytes
+		res.TotalBytes += sv.bytes
 		if sinks.Transfer != nil {
-			if err := sinks.Transfer(r.sv.transfer); err != nil {
+			if err := sinks.Transfer(sv.transfer); err != nil {
+				releaseServed(sv)
 				return err
 			}
 		}
-		if r.sv.entry != nil {
-			pending.push(r.sv.end, r.sv.entry)
-			if r.sv.dup != nil {
-				pending.push(r.sv.end, r.sv.dup)
+		if sv.entry != nil {
+			pending.push(sv.end, sv.entry, sv.entryC)
+			if sv.dup != nil {
+				pending.push(sv.end, sv.dup, sv.dupC)
 			}
 		}
-		if r.sv.injected {
+		if sv.injected {
 			res.Injected++
 		}
 		return nil
 	}
 
-	reorder := heapx.New(func(a, b laneResult) bool { return a.seq < b.seq })
-	var next int64
-	for batch := range outCh {
-		if firstErr != nil {
-			continue // draining so the producers observe stop and exit
+	// Done lanes are recorded once and then skipped: a permanently-Done
+	// ring must not count as fresh work in the park re-check, or the
+	// collector would busy-spin from the first lane to finish.
+	done := make([]bool, lanes)
+	remaining := lanes
+	for remaining > 0 {
+		progress := false
+		for k, r := range out {
+			if done[k] {
+				continue
+			}
+			for {
+				p, ok := r.Peek()
+				if !ok {
+					break
+				}
+				if firstErr != nil {
+					// Abort drain: discard, releasing pooled entries.
+					releaseServed(&p.sv)
+					r.Advance()
+					progress = true
+					continue
+				}
+				if !reorder.Placeable(uint64(p.seq)) {
+					// Out of window: leave it parked in the ring; the
+					// window advances via the lane holding seq == next.
+					break
+				}
+				if err := reorder.Place(uint64(p.seq), *p); err != nil {
+					abort(err) // impossible by construction; drained above
+					continue
+				}
+				r.Advance()
+				progress = true
+			}
+			if r.Done() {
+				done[k] = true
+				remaining--
+				progress = true
+			}
 		}
-		for _, r := range batch {
-			reorder.Push(r)
-		}
-		resultBatches.put(batch)
-		for reorder.Len() > 0 && reorder.Peek().seq == next {
-			next++
-			if err := emit(reorder.Pop()); err != nil {
-				abort(err)
+		for firstErr == nil {
+			p, ok := reorder.PeekNext()
+			if !ok {
 				break
+			}
+			if err := emit(p); err != nil {
+				abort(err)
+			}
+			reorder.Release()
+			progress = true
+		}
+		if remaining > 0 && !progress {
+			// Park until a lane pushes or closes. The re-check must
+			// mirror the progress condition exactly: only a placeable
+			// head (any head during abort drain) or an unrecorded close
+			// is work — an unplaceable head must NOT prevent parking,
+			// because its wake arrives via the lane delivering seq ==
+			// next.
+			collGate.Prepare()
+			again := false
+			for k, r := range out {
+				if done[k] {
+					continue
+				}
+				if p, ok := r.Peek(); ok {
+					if firstErr != nil || reorder.Placeable(uint64(p.seq)) {
+						again = true
+						break
+					}
+				} else if r.Done() {
+					again = true
+					break
+				}
+			}
+			if again {
+				collGate.Cancel()
+			} else {
+				collGate.Wait(nil)
 			}
 		}
 	}
+	workers.Wait()
+	dispatcherDone.Wait()
+
+	// Every ring is closed and drained; recycle anything still buffered
+	// before reporting an error (the sinks never see it).
+	drainBuffers := func() {
+		for reorder.Len() > 0 {
+			if p, ok := reorder.PeekNext(); ok {
+				releaseServed(&p.sv)
+				reorder.Release()
+			} else {
+				reorder.Skip()
+			}
+		}
+		_ = pending.flushThrough(0, true, nil) // nil sink never errors
+	}
 	if firstErr != nil {
+		drainBuffers()
 		return nil, firstErr
 	}
-
-	// outCh is closed: the dispatcher and all workers are done and the
-	// published error/peak are visible; every result is in the heap.
 	if dispatchErr != nil {
+		drainBuffers()
 		return nil, dispatchErr
 	}
-	for reorder.Len() > 0 {
-		r := reorder.Pop()
-		if r.seq != next {
-			return nil, fmt.Errorf("simulate: sharded serve lost seq %d (got %d)", next, r.seq)
-		}
-		next++
-		if err := emit(r); err != nil {
-			return nil, err
-		}
+	if n := reorder.Len(); n != 0 {
+		seq := reorder.Next()
+		drainBuffers()
+		return nil, fmt.Errorf("simulate: sharded serve lost sequence %d (%d results stranded)", seq, n)
 	}
 	if res.Transfers == 0 {
 		return nil, fmt.Errorf("%w: empty workload", ErrBadConfig)
 	}
 	if int64(res.Transfers) != admitted {
+		drainBuffers()
 		return nil, fmt.Errorf("simulate: sharded serve emitted %d of %d admitted transfers", res.Transfers, admitted)
 	}
 	if err := pending.flushThrough(0, true, sinks.Entry); err != nil {
+		drainBuffers()
 		return nil, err
 	}
 	res.PeakConcurrency = peak
 	return res, nil
-}
-
-// batchPool recycles batch slices across pipeline stages.
-type batchPool[T any] struct {
-	p sync.Pool
-}
-
-func (bp *batchPool[T]) get() []T {
-	if v := bp.p.Get(); v != nil {
-		return (*v.(*[]T))[:0]
-	}
-	return make([]T, 0, serveBatch)
-}
-
-func (bp *batchPool[T]) put(b []T) {
-	bp.p.Put(&b)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 	"time"
 
@@ -138,8 +139,9 @@ func TestRunStreamShardedValidation(t *testing.T) {
 // the hash-skew deadlock: a stream whose events all hash to one lane
 // (a single client) must still complete at any lane count — the
 // collector must never block on a cold lane while hot lanes stall the
-// pipeline. Guarded by a timeout so a regression fails instead of
-// hanging the suite.
+// pipeline — AND the maximally skewed log must stay md5-identical to
+// the sequential one. Guarded by a timeout so a regression fails
+// instead of hanging the suite.
 func TestRunStreamShardedSkewedLanes(t *testing.T) {
 	m, err := gismo.Scaled(5000, 2)
 	if err != nil {
@@ -152,47 +154,153 @@ func TestRunStreamShardedSkewedLanes(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SpanningPerMillion = 0 // entry count must equal the event count
 	const n = 20_000
+	const seed = 9
 
-	done := make(chan error, 1)
-	go func() {
-		served := 0
-		res, err := RunStreamSharded(&syntheticStream{n: n, clients: 1}, pop, int64(n), cfg, 9, 4, StreamSinks{
-			Entry: func(e *wmslog.Entry) error { served++; return nil },
-		})
-		if err == nil && (res.Transfers != n || served != n) {
-			err = fmt.Errorf("served %d/%d transfers (%d entries)", res.Transfers, n, served)
-		}
-		done <- err
-	}()
-	select {
-	case err := <-done:
+	logMD5 := func(run func(src workload.Stream, sinks StreamSinks) (*StreamResult, error)) ([md5.Size]byte, int, error) {
+		var buf bytes.Buffer
+		lw := wmslog.NewWriter(&buf)
+		res, err := run(&syntheticStream{n: n, clients: 1}, StreamSinks{Entry: lw.Write})
 		if err != nil {
-			t.Fatal(err)
+			return [md5.Size]byte{}, 0, err
 		}
-	case <-time.After(60 * time.Second):
-		t.Fatal("sharded serve deadlocked on a skewed lane distribution")
+		if err := lw.Flush(); err != nil {
+			return [md5.Size]byte{}, 0, err
+		}
+		return md5.Sum(buf.Bytes()), res.Transfers, nil
+	}
+	seqSum, seqN, err := logMD5(func(src workload.Stream, sinks StreamSinks) (*StreamResult, error) {
+		return RunStream(src, pop, int64(n), cfg, seed, sinks)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqN != n {
+		t.Fatalf("sequential served %d/%d transfers", seqN, n)
+	}
+
+	for _, lanes := range []int{2, 4, 8} {
+		type outcome struct {
+			sum [md5.Size]byte
+			n   int
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			sum, served, err := logMD5(func(src workload.Stream, sinks StreamSinks) (*StreamResult, error) {
+				return RunStreamSharded(src, pop, int64(n), cfg, seed, lanes, sinks)
+			})
+			done <- outcome{sum, served, err}
+		}()
+		select {
+		case o := <-done:
+			if o.err != nil {
+				t.Fatalf("lanes=%d: %v", lanes, o.err)
+			}
+			if o.n != n {
+				t.Fatalf("lanes=%d: served %d/%d transfers", lanes, o.n, n)
+			}
+			if o.sum != seqSum {
+				t.Errorf("lanes=%d: skewed log md5 differs from sequential", lanes)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("lanes=%d: sharded serve deadlocked on a skewed lane distribution", lanes)
+		}
 	}
 }
 
-// TestRunStreamShardedSinkError: a failing sink aborts the whole
-// pipeline promptly (workers and dispatcher included) and surfaces the
-// sink's error.
+// TestRunStreamShardedSinkError: a failing sink mid-run aborts the
+// whole pipeline promptly — dispatcher, every lane worker, and the
+// collector — surfacing the sink's error rather than deadlocking,
+// whichever sink fails and at any lane count. Timeout-guarded so a
+// liveness regression fails instead of hanging the suite.
 func TestRunStreamShardedSinkError(t *testing.T) {
 	w := testWorkload(t, 23)
 	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 2000
 	boom := errors.New("sink boom")
 
-	n := 0
-	_, err := RunStreamSharded(w.Stream(), w.Population, w.Model.Horizon, cfg, 1, 4, StreamSinks{
-		Transfer: func(tr trace.Transfer) error {
-			n++
-			if n == 10 {
-				return boom
-			}
-			return nil
-		},
+	for _, lanes := range []int{1, 4, 8} {
+		for _, kind := range []string{"transfer", "entry"} {
+			t.Run(fmt.Sprintf("%s/lanes=%d", kind, lanes), func(t *testing.T) {
+				n := 0
+				fail := func() error {
+					n++
+					if n == 10 {
+						return boom
+					}
+					return nil
+				}
+				sinks := StreamSinks{}
+				switch kind {
+				case "transfer":
+					sinks.Transfer = func(tr trace.Transfer) error { return fail() }
+					// Entries must still be produced (and then drained
+					// without leaking) when the other sink aborts.
+					sinks.Entry = func(e *wmslog.Entry) error { return nil }
+				case "entry":
+					sinks.Entry = func(e *wmslog.Entry) error { return fail() }
+				}
+				done := make(chan error, 1)
+				go func() {
+					_, err := RunStreamSharded(w.Stream(), w.Population, w.Model.Horizon, cfg, 1, lanes, sinks)
+					done <- err
+				}()
+				select {
+				case err := <-done:
+					if !errors.Is(err, boom) {
+						t.Fatalf("err = %v, want sink error", err)
+					}
+				case <-time.After(60 * time.Second):
+					t.Fatal("sharded serve wedged after a sink error")
+				}
+			})
+		}
+	}
+}
+
+// TestRunStreamShardedMemoryBounded is the arena-recycling contract:
+// a long sharded run's live heap must stay bounded by the pipeline's
+// occupancy (rings + reorder window + in-flight arena chunks), not
+// grow with the transfer count — chunks must actually cycle back from
+// the collector to the lane workers.
+func TestRunStreamShardedMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory measurement in -short mode")
+	}
+	m, err := gismo.Scaled(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := gismo.NewPopulation(64, m.Topology, rand.New(rand.NewPCG(5, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 400_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	cfg := DefaultConfig()
+	cfg.SpanningPerMillion = 0
+	var served int
+	res, err := RunStreamSharded(&syntheticStream{n: n, clients: pop.Size()}, pop, int64(n), cfg, 3, 4, StreamSinks{
+		Entry: func(e *wmslog.Entry) error { served++; return nil },
 	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want sink error", err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if res.Transfers != n || served != n {
+		t.Fatalf("served %d/%d transfers (%d entries)", res.Transfers, n, served)
+	}
+
+	// Buffering the entries would cost ~100 MB; the pipeline needs only
+	// its rings, the reorder window, and the circulating chunks. Allow
+	// a generous 24 MB for noise.
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const limit = 24 << 20
+	if growth > limit {
+		t.Errorf("live heap grew %d bytes during sharded run, want < %d", growth, limit)
 	}
 }

@@ -3,7 +3,6 @@ package simulate
 import (
 	"fmt"
 	"math/rand/v2"
-	"sync"
 	"time"
 
 	"repro/internal/dist"
@@ -123,9 +122,9 @@ func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Co
 			}
 		}
 		if sv.entry != nil {
-			pending.push(sv.end, sv.entry)
+			pending.push(sv.end, sv.entry, sv.entryC)
 			if sv.dup != nil {
-				pending.push(sv.end, sv.dup)
+				pending.push(sv.end, sv.dup, sv.dupC)
 			}
 		}
 		if sv.injected {
@@ -145,11 +144,16 @@ func RunStream(src workload.Stream, pop *gismo.Population, horizon int64, cfg Co
 // served is one transfer's complete serving outcome: the trace record,
 // the pooled log entry, and — for the rare Section 2.4 injection — a
 // corrupt spanning twin. transfer and entry are only populated when
-// the run has the corresponding sink.
+// the run has the corresponding sink. entryC/dupC are the arena chunks
+// owning the entries on the sharded path (nil on the sequential path,
+// whose freelist pool has no chunks); they ride along so the collector
+// can release each entry to its owning lane.
 type served struct {
 	transfer trace.Transfer
 	entry    *wmslog.Entry
+	entryC   *entryChunk
 	dup      *wmslog.Entry
+	dupC     *entryChunk
 	end      int64
 	bytes    int64
 	injected bool
@@ -231,7 +235,8 @@ func (es *eventServer) serve(ev workload.Event, conc int, sv *served) {
 		}
 	}
 	if es.wantEntry {
-		entry := es.pool.get()
+		entry, chunk := es.pool.get()
+		sv.entryC = chunk
 		*entry = wmslog.Entry{
 			Timestamp:    cfg.Epoch.Add(time.Duration(sv.end) * time.Second),
 			ClientIP:     client.Placement.IP,
@@ -259,11 +264,12 @@ func (es *eventServer) serve(ev workload.Event, conc int, sv *served) {
 		sv.injected = true
 		dur := es.horizon + int64(es.rng.IntN(1_000_000)) + 1
 		if sv.entry != nil {
-			dup := es.pool.get()
+			dup, chunk := es.pool.get()
 			*dup = *sv.entry
 			dup.Duration = dur
 			dup.Bytes = dur * 1000
 			sv.dup = dup
+			sv.dupC = chunk
 		}
 	}
 }
@@ -284,44 +290,34 @@ func (es *eventServer) uri(obj int) string {
 // the sink: a transfer's entry is recycled as soon as the Entry sink
 // returns, so a streamed run allocates entries proportional to the
 // reorder buffer's high-water mark (~peak concurrency), not to the
-// transfer count.
+// transfer count. get may hand back the entry's owning arena chunk
+// (nil for chunkless pools); callers thread it to the matching put so
+// arena-backed entries release to the right lane.
 type entryPool interface {
-	get() *wmslog.Entry
-	put(*wmslog.Entry)
+	get() (*wmslog.Entry, *entryChunk)
+	put(*wmslog.Entry, *entryChunk)
 }
 
-// freeEntryPool is the single-goroutine pool: a plain LIFO freelist,
-// no synchronization.
+// freeEntryPool is the single-goroutine pool the sequential path uses:
+// a plain LIFO freelist, no synchronization, no chunks. The sharded
+// path uses per-lane arenas instead (see arena.go).
 type freeEntryPool struct {
 	free []*wmslog.Entry
 }
 
-func (ep *freeEntryPool) get() *wmslog.Entry {
+func (ep *freeEntryPool) get() (*wmslog.Entry, *entryChunk) {
 	if n := len(ep.free); n > 0 {
 		e := ep.free[n-1]
 		ep.free = ep.free[:n-1]
-		return e
+		return e, nil
 	}
-	return new(wmslog.Entry)
+	return new(wmslog.Entry), nil
 }
 
 // put returns an entry to the freelist.
 //
 //lsm:retain -- the pool is the recycler: entries are handed back here precisely when the sink is done with them
-func (ep *freeEntryPool) put(e *wmslog.Entry) { ep.free = append(ep.free, e) }
-
-// syncEntryPool is the cross-goroutine pool the sharded path uses:
-// lane workers get, the collector puts after the sink returns.
-type syncEntryPool struct {
-	p sync.Pool
-}
-
-func newSyncEntryPool() *syncEntryPool {
-	return &syncEntryPool{p: sync.Pool{New: func() any { return new(wmslog.Entry) }}}
-}
-
-func (ep *syncEntryPool) get() *wmslog.Entry  { return ep.p.Get().(*wmslog.Entry) }
-func (ep *syncEntryPool) put(e *wmslog.Entry) { ep.p.Put(e) }
+func (ep *freeEntryPool) put(e *wmslog.Entry, _ *entryChunk) { ep.free = append(ep.free, e) }
 
 // pendingEntries is the reorder buffer of not-yet-emitted log entries,
 // a min-heap on (transfer end, admission order). The secondary key
@@ -337,6 +333,7 @@ type pendingEntry struct {
 	end   int64
 	seq   int64
 	entry *wmslog.Entry
+	chunk *entryChunk
 }
 
 func newPendingEntries(pool entryPool) pendingEntries {
@@ -351,13 +348,9 @@ func newPendingEntries(pool entryPool) pendingEntries {
 // push buffers an entry until the start watermark passes its end time.
 //
 //lsm:retain -- the reorder buffer owns entries between push and pop; flushThrough recycles them into the pool after the sink call
-func (p *pendingEntries) push(end int64, e *wmslog.Entry) {
-	p.heap.Push(pendingEntry{end: end, seq: p.seq, entry: e})
+func (p *pendingEntries) push(end int64, e *wmslog.Entry, c *entryChunk) {
+	p.heap.Push(pendingEntry{end: end, seq: p.seq, entry: e, chunk: c})
 	p.seq++
-}
-
-func (p *pendingEntries) pop() *wmslog.Entry {
-	return p.heap.Pop().entry
 }
 
 // flushThrough emits (and recycles) every buffered entry whose end
@@ -365,13 +358,14 @@ func (p *pendingEntries) pop() *wmslog.Entry {
 // can end earlier — or everything when all is set.
 func (p *pendingEntries) flushThrough(start int64, all bool, sink func(*wmslog.Entry) error) error {
 	for p.heap.Len() > 0 && (all || p.heap.Peek().end <= start) {
-		e := p.pop()
+		pe := p.heap.Pop()
 		if sink != nil {
-			if err := sink(e); err != nil {
+			if err := sink(pe.entry); err != nil {
+				p.pool.put(pe.entry, pe.chunk)
 				return err
 			}
 		}
-		p.pool.put(e)
+		p.pool.put(pe.entry, pe.chunk)
 	}
 	return nil
 }

@@ -172,13 +172,13 @@ func TestPendingEntriesOrdering(t *testing.T) {
 	p := newPendingEntries(&freeEntryPool{})
 	ends := []int64{9, 3, 7, 3, 11, 1, 3}
 	for i, e := range ends {
-		p.push(e, &wmslog.Entry{Duration: int64(i)})
+		p.push(e, &wmslog.Entry{Duration: int64(i)}, nil)
 	}
 	var lastEnd int64 = -1
 	var lastSeq int64 = -1
 	for range ends {
 		top := p.heap.Peek()
-		p.pop()
+		p.heap.Pop()
 		if top.end < lastEnd {
 			t.Fatalf("pop out of end order: %d after %d", top.end, lastEnd)
 		}
