@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -61,7 +63,7 @@ func TestRunMerge(t *testing.T) {
 	if err := runMerge(merged, []string{a, b}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "merged 5 entries (5 tagged) from 2 logs") {
+	if !strings.Contains(out.String(), "merged 5 entries (5 tagged, 0 binary-framed) from 2 logs") {
 		t.Fatalf("merge output: %s", out.String())
 	}
 	entries, _, err := wmslog.ReadFiles([]string{merged}, false)
@@ -99,7 +101,7 @@ func TestRunRedirectorLifecycle(t *testing.T) {
 	interrupt := make(chan os.Signal, 1)
 	out := &syncWriter{b: &strings.Builder{}}
 	done := make(chan error, 1)
-	go func() { done <- runRedirector("127.0.0.1:0", "hash", time.Second, interrupt, out) }()
+	go func() { done <- runRedirector("127.0.0.1:0", "hash", time.Second, "127.0.0.1:0", interrupt, out) }()
 
 	// The listen address is ephemeral; poll the output for it.
 	addr := ""
@@ -132,6 +134,28 @@ func TestRunRedirectorLifecycle(t *testing.T) {
 		t.Fatalf("lookup: %q, %v", got, err)
 	}
 
+	// The /metrics endpoint reports the same state the log lines do.
+	maddr := ""
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "metrics on http://"); ok {
+			maddr = strings.TrimSuffix(strings.Fields(rest)[0], "/metrics")
+		}
+	}
+	if maddr == "" {
+		t.Fatalf("metrics address never reported: %q", out.String())
+	}
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"nodes_up 1\n", "nodes_registered 1\n", "redirects 1\n", "no_node_errors 0\n", "heartbeat_expiries 0\n"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
 	interrupt <- syscall.SIGTERM
 	select {
 	case err := <-done:
@@ -141,7 +165,7 @@ func TestRunRedirectorLifecycle(t *testing.T) {
 	case <-time.After(3 * time.Second):
 		t.Fatal("redirector did not shut down")
 	}
-	if err := runRedirector("127.0.0.1:0", "bogus", time.Second, interrupt, &out2{}); err == nil {
+	if err := runRedirector("127.0.0.1:0", "bogus", time.Second, "", interrupt, &out2{}); err == nil {
 		t.Fatal("bogus policy accepted")
 	}
 }

@@ -414,7 +414,7 @@ func runCheck(metaPath, logPath string, timeout int64, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "parsed %d served entries (%d malformed skipped)\n", st.Entries, st.Malformed)
+	fmt.Fprintf(out, "parsed %d served entries (%d binary-framed, %d malformed skipped)\n", st.Entries, st.Binary, st.Malformed)
 
 	// A node that dies between committing a log entry and the client
 	// reading END makes the raw log disagree with the replay's

@@ -19,7 +19,8 @@ func TestJoinFleetRegistersAndDeregisters(t *testing.T) {
 	}
 	defer rd.Close()
 
-	a, err := newApp("127.0.0.1:0", "", 110000, 16, 10*time.Second, time.Minute)
+	a, err := newApp(appConfig{addr: "127.0.0.1:0", rateBps: 110000,
+		maxConns: 16, writeTimeout: 10 * time.Second, idleTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}

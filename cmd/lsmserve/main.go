@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-rate 110000]
+//	lsmserve [-addr 127.0.0.1:8555] [-log transfers.log] [-log-format text|binary]
+//	         [-metrics host:port] [-rate 110000]
 //	         [-max-conns 256] [-write-timeout 10s] [-idle-timeout 60s]
 //	         [-serve-lanes N]
 //	         [-fleet host:port] [-advertise host:port] [-beat 500ms]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -log-format binary writes the transfer log in the framed binary
+// wmslog format (decoded transparently by every reader — lsmload
+// -check, lsmfleet -merge, lsmlog). -metrics serves the plain-text
+// counters endpoint (conns, refusals, transfers) at
+// http://host:port/metrics, the ops surface scripts poll instead of
+// grepping logs.
 //
 // -serve-lanes caps how many CPUs the server schedules across
 // (GOMAXPROCS); 0 — the default — uses every schedulable CPU, matching
@@ -49,6 +57,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/liveserver"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/wmslog"
 )
 
@@ -56,6 +65,8 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8555", "listen address")
 		logPath  = flag.String("log", "", "optional path for WMS-style transfer log")
+		logFmt   = flag.String("log-format", "text", "transfer log format: text (canonical) or binary (framed fast path)")
+		metrics  = flag.String("metrics", "", "optional address for the plain-text /metrics endpoint")
 		rate     = flag.Int("rate", 110000, "stream rate in bits/second")
 		maxConn  = flag.Int("max-conns", 256, "maximum concurrent connections; extras get 'ERR busy', never a hang")
 		writeTO  = flag.Duration("write-timeout", 10*time.Second, "disconnect a client that stops reading after this long (0 disables)")
@@ -74,6 +85,10 @@ func main() {
 	if *maxConnO != 0 {
 		*maxConn = *maxConnO
 	}
+	if *logFmt != "text" && *logFmt != "binary" {
+		fmt.Fprintf(os.Stderr, "lsmserve: -log-format %q: want text or binary\n", *logFmt)
+		os.Exit(2)
+	}
 	if *lanes > 0 {
 		runtime.GOMAXPROCS(*lanes)
 	}
@@ -82,7 +97,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	app, err := newApp(*addr, *logPath, *rate, *maxConn, *writeTO, *idleTO)
+	app, err := newApp(appConfig{
+		addr:         *addr,
+		logPath:      *logPath,
+		logBinary:    *logFmt == "binary",
+		metricsAddr:  *metrics,
+		rateBps:      *rate,
+		maxConns:     *maxConn,
+		writeTimeout: *writeTO,
+		idleTimeout:  *idleTO,
+	})
 	if err != nil {
 		profiles.Stop()
 		fmt.Fprintln(os.Stderr, "lsmserve:", err)
@@ -90,6 +114,9 @@ func main() {
 	}
 	fmt.Printf("live streaming server on %s (%d bit/s, %d serve lanes)\n",
 		app.srv.Addr(), *rate, runtime.GOMAXPROCS(0))
+	if app.metrics != nil {
+		fmt.Printf("metrics on http://%s/metrics\n", app.metrics.Addr())
+	}
 	if *fleet != "" {
 		if err := app.joinFleet(*fleet, *advertise, *beat); err != nil {
 			app.shutdown()
@@ -115,13 +142,30 @@ func main() {
 	}
 }
 
+// appConfig collects what newApp needs to assemble a node.
+type appConfig struct {
+	addr    string
+	logPath string
+	// logBinary selects the framed binary log format over canonical
+	// text for the transfer log.
+	logBinary bool
+	// metricsAddr, when non-empty, serves the plain-text /metrics
+	// counters endpoint there.
+	metricsAddr  string
+	rateBps      int
+	maxConns     int
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+}
+
 // app bundles the server with its transfer log so the shutdown path —
 // stop serving, flush and close the log exactly once — is testable.
 // Connection handlers complete (and log) concurrently; the SyncWriter
 // serializes them.
 type app struct {
-	srv   *liveserver.Server
-	agent *cluster.Agent // nil unless the node joined a fleet
+	srv     *liveserver.Server
+	agent   *cluster.Agent    // nil unless the node joined a fleet
+	metrics *telemetry.Server // nil unless -metrics was given
 
 	logWriter *wmslog.SyncWriter
 	logFile   *os.File
@@ -148,31 +192,38 @@ func (a *app) joinFleet(frontend, advertise string, beat time.Duration) error {
 }
 
 // newApp starts the server, wiring completed transfers into the log
-// sink when logPath is non-empty.
-func newApp(addr, logPath string, rateBps, maxConns int, writeTimeout, idleTimeout time.Duration) (*app, error) {
+// sink when a log path is configured and exposing /metrics when a
+// metrics address is.
+func newApp(ac appConfig) (*app, error) {
 	cfg := liveserver.DefaultServerConfig()
-	cfg.MaxConns = maxConns
-	cfg.WriteTimeout = writeTimeout
-	cfg.IdleTimeout = idleTimeout
+	cfg.MaxConns = ac.maxConns
+	cfg.WriteTimeout = ac.writeTimeout
+	cfg.IdleTimeout = ac.idleTimeout
 	// Pick frame pacing for the requested rate at ~10 frames/second.
 	cfg.FrameInterval = 100 * time.Millisecond
-	cfg.FrameBytes = rateBps / 8 / 10
+	cfg.FrameBytes = ac.rateBps / 8 / 10
 	if cfg.FrameBytes < 64 {
 		cfg.FrameBytes = 64
 	}
 
 	a := &app{}
-	if logPath != "" {
-		f, err := os.Create(logPath)
+	if ac.logPath != "" {
+		f, err := os.Create(ac.logPath)
 		if err != nil {
 			return nil, err
 		}
 		a.logFile = f
-		a.logWriter = wmslog.NewSyncWriter(wmslog.NewWriter(f))
+		var ew wmslog.EntryWriter
+		if ac.logBinary {
+			ew = wmslog.NewBinaryWriter(f)
+		} else {
+			ew = wmslog.NewWriter(f)
+		}
+		a.logWriter = wmslog.NewSyncWriter(ew)
 		cfg.Sink = a.logTransfer
 	}
 
-	srv, err := liveserver.Serve(addr, cfg)
+	srv, err := liveserver.Serve(ac.addr, cfg)
 	if err != nil {
 		if a.logFile != nil {
 			a.logFile.Close()
@@ -180,6 +231,23 @@ func newApp(addr, logPath string, rateBps, maxConns int, writeTimeout, idleTimeo
 		return nil, err
 	}
 	a.srv = srv
+	if ac.metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Set("conns_open", srv.OpenConns)
+		reg.Set("conns_accepted", srv.AcceptedConns)
+		reg.Set("conns_refused", srv.RefusedConns)
+		reg.Set("transfers_active", srv.ActiveTransfers)
+		reg.Set("transfers_served", srv.ServedTransfers)
+		if a.logWriter != nil {
+			reg.Set("log_entries", a.logWriter.Count)
+		}
+		ms, err := telemetry.Serve(ac.metricsAddr, reg)
+		if err != nil {
+			a.shutdown()
+			return nil, err
+		}
+		a.metrics = ms
+	}
 	return a, nil
 }
 
@@ -221,6 +289,9 @@ func (a *app) shutdown() error {
 	a.closeOnce.Do(func() {
 		if a.agent != nil {
 			a.agent.Close()
+		}
+		if a.metrics != nil {
+			a.metrics.Close()
 		}
 		a.closeErr = a.srv.Close()
 		if a.logFile == nil {

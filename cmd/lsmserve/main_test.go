@@ -16,7 +16,8 @@ import (
 // file — flushed and closed — after the loop returns.
 func TestShutdownFlushesTransferLog(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "transfers.log")
-	a, err := newApp("127.0.0.1:0", logPath, 110000, 16, 10*time.Second, time.Minute)
+	a, err := newApp(appConfig{addr: "127.0.0.1:0", logPath: logPath, rateBps: 110000,
+		maxConns: 16, writeTimeout: 10 * time.Second, idleTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,8 @@ func TestShutdownFlushesTransferLog(t *testing.T) {
 
 // TestShutdownWithoutLog covers the no-log configuration.
 func TestShutdownWithoutLog(t *testing.T) {
-	a, err := newApp("127.0.0.1:0", "", 110000, 4, 10*time.Second, time.Minute)
+	a, err := newApp(appConfig{addr: "127.0.0.1:0", rateBps: 110000,
+		maxConns: 4, writeTimeout: 10 * time.Second, idleTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,8 @@ func TestShutdownWithoutLog(t *testing.T) {
 // viewers cannot be deferred).
 func TestShutdownWithActiveTransfer(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "transfers.log")
-	a, err := newApp("127.0.0.1:0", logPath, 110000, 16, 10*time.Second, time.Minute)
+	a, err := newApp(appConfig{addr: "127.0.0.1:0", logPath: logPath, rateBps: 110000,
+		maxConns: 16, writeTimeout: 10 * time.Second, idleTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -88,6 +88,14 @@ func (r *Redirector) Redirects() int64 { return r.redirects.Load() }
 // NoNodeErrors returns the number of STARTs refused for lack of nodes.
 func (r *Redirector) NoNodeErrors() int64 { return r.noNodes.Load() }
 
+// OpenConns returns the number of currently open connections (client
+// and node sessions alike), for the /metrics surface.
+func (r *Redirector) OpenConns() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.conns))
+}
+
 // Close stops accepting, closes every connection, and drains handlers.
 func (r *Redirector) Close() error {
 	r.mu.Lock()

@@ -152,6 +152,15 @@ func (s *Server) RefusedConns() int64 { return s.refused.Load() }
 // accounting, and what lets a replay harness verify connection pooling.
 func (s *Server) AcceptedConns() int64 { return s.accepted.Load() }
 
+// OpenConns returns the number of currently open connections (streaming
+// or idle between transfers) — the gauge complement of the lifetime
+// AcceptedConns counter, for the /metrics surface.
+func (s *Server) OpenConns() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.conns))
+}
+
 // Close stops accepting, closes every connection, and waits for the
 // handler goroutines to drain.
 func (s *Server) Close() error {

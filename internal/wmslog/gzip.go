@@ -13,6 +13,14 @@ import (
 // the parser consume ".log.gz" files transparently and let operators
 // compress harvested days in place.
 
+// Open opens a log file for reading, transparently decompressing ".gz"
+// files. The returned closer closes both layers. The reader carries
+// whatever format the file holds — feed it to NewParser, which detects
+// text vs binary by magic bytes.
+func Open(path string) (io.Reader, io.Closer, error) {
+	return openLog(path)
+}
+
 // openLog opens a log file for reading, transparently decompressing
 // ".gz" files. The returned closer closes both layers.
 func openLog(path string) (io.Reader, io.Closer, error) {

@@ -110,6 +110,10 @@ type MergeStats struct {
 	Entries int
 	// Tagged counts entries carrying a session/seq workload tag.
 	Tagged int
+	// Binary counts input entries that arrived in the binary framing
+	// (inputs are format-mixed freely; the merged output is always
+	// canonical text).
+	Binary int
 	// Realization is the hex md5 of the merged realization — see
 	// RealizationDigest.
 	Realization string
@@ -182,11 +186,12 @@ func MergeFiles(w io.Writer, paths []string) (MergeStats, error) {
 		if err != nil {
 			return stats, err
 		}
-		entries, _, err := ReadAll(r, false)
+		entries, st, err := ReadAll(r, false)
 		closer.Close()
 		if err != nil {
 			return stats, fmt.Errorf("wmslog: merge %s: %w", path, err)
 		}
+		stats.Binary += st.Binary
 		files = append(files, entries)
 	}
 	merged := MergeEntries(files)

@@ -3,6 +3,7 @@ package wmslog
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -13,46 +14,92 @@ import (
 
 // ParseStats accumulates per-parse bookkeeping: how many lines were
 // consumed, how many were comments/headers, and how many were malformed
-// (and skipped, in tolerant mode).
+// (and skipped, in tolerant mode). Binary records count as both a line
+// and an entry, and additionally under Binary, so a mixed-format
+// ReadFiles pass can report how much of its input took the fast
+// framing.
 type ParseStats struct {
 	Lines     int
 	Comments  int
 	Entries   int
 	Malformed int
+	// Binary counts entries decoded from the binary framing.
+	Binary int
 }
 
-// Parser reads entries from a single log stream.
+// parserMode is the detected stream format.
+type parserMode int
+
+const (
+	modeUndetected parserMode = iota
+	modeText
+	modeBinary
+)
+
+// Parser reads entries from a single log stream, auto-detecting the
+// format by magic bytes: a stream opening with the binary magic is
+// decoded as framed binary records, anything else as the W3C-style
+// text format. No flag ever selects the format — the bytes do.
 //
 // In strict mode (default) any malformed line aborts with an error
-// identifying the line number. In tolerant mode malformed lines are
-// counted and skipped — the disposition a measurement pipeline needs for
-// month-scale production logs.
+// identifying the line number. In tolerant mode malformed text lines
+// are counted and skipped — the disposition a measurement pipeline
+// needs for month-scale production logs. Binary corruption is ALWAYS
+// fatal, tolerant or not: the length-prefixed framing cannot be
+// resynchronized after a bad record, so skipping would silently drop
+// an unbounded tail. A truncated or corrupt binary file is a loud
+// error and never emits a partial entry.
 type Parser struct {
 	Tolerant bool
 
-	scanner *bufio.Scanner
+	br      *bufio.Reader
+	mode    parserMode
+	scanner *bufio.Scanner // text mode
+	dict    *BinaryDict    // binary mode
+	recBuf  []byte         // binary mode: buffer for records spanning br's window
+	slab    []Entry        // binary mode: batch-allocated entries, handed out once each
 	stats   ParseStats
 	fields  []string // column order from the #Fields header, nil until seen
 }
 
 // NewParser wraps r.
 func NewParser(r io.Reader) *Parser {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Parser{scanner: sc}
+	return &Parser{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
 // Stats returns the bookkeeping so far.
 func (p *Parser) Stats() ParseStats { return p.stats }
 
+// detect sniffs the stream format from its first bytes. A stream too
+// short to carry the magic is text (possibly empty).
+func (p *Parser) detect() {
+	prefix, _ := p.br.Peek(len(binaryMagic))
+	if bytes.Equal(prefix, binaryMagic) {
+		p.br.Discard(len(binaryMagic))
+		p.mode = modeBinary
+		p.dict = NewBinaryDict()
+		return
+	}
+	p.mode = modeText
+	p.scanner = bufio.NewScanner(p.br)
+	p.scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+}
+
 // Next returns the next entry, or io.EOF when the stream is exhausted.
 //
-// Data lines go through the ParseAppend fast path first — the strict
-// canonical format the encoder emits, decoded without scratch
+// Text data lines go through the ParseAppend fast path first — the
+// strict canonical format the encoder emits, decoded without scratch
 // allocations — and only fall back to the tolerant legacy column
 // splitter (repeated whitespace, arbitrary float formats) when the
-// fast path rejects them.
+// fast path rejects them. Binary streams decode record by record
+// through ParseBinary.
 func (p *Parser) Next() (*Entry, error) {
+	if p.mode == modeUndetected {
+		p.detect()
+	}
+	if p.mode == modeBinary {
+		return p.nextBinary()
+	}
 	for p.scanner.Scan() {
 		p.stats.Lines++
 		raw := bytes.TrimSpace(p.scanner.Bytes())
@@ -82,6 +129,60 @@ func (p *Parser) Next() (*Entry, error) {
 		return nil, fmt.Errorf("wmslog: scan: %w", err)
 	}
 	return nil, io.EOF
+}
+
+// nextBinary decodes one length-prefixed binary record. Any framing or
+// decode error is fatal regardless of Tolerant: after a bad record the
+// stream offset is unknowable, so there is nothing to skip to.
+//
+// The common case decodes in place: the record is Peeked out of the
+// bufio window and Discarded after the parse (ParseBinary never
+// retains the payload — inline strings are copied at interning), so no
+// bytes move. Only a record spanning the window boundary is copied out
+// through recBuf. Entries come from a batch-allocated slab, handed out
+// exactly once each, so a caller can retain them while the parser
+// amortizes the per-entry allocation.
+func (p *Parser) nextBinary() (*Entry, error) {
+	n, err := binary.ReadUvarint(p.br)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wmslog: binary record %d: length prefix: %w", p.stats.Lines+1, err)
+	}
+	if n == 0 || n > maxBinaryRecord {
+		return nil, fmt.Errorf("wmslog: binary record %d: %w: record length %d", p.stats.Lines+1, ErrFormat, n)
+	}
+	rec, perr := p.br.Peek(int(n))
+	if perr != nil {
+		// Record spans the buffered window (or the stream is short):
+		// copy it out. ReadFull consumes what Peek only looked at.
+		if uint64(cap(p.recBuf)) < n {
+			p.recBuf = make([]byte, n)
+		}
+		rec = p.recBuf[:n]
+		if _, err := io.ReadFull(p.br, rec); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("wmslog: binary record %d: truncated: want %d payload bytes: %w", p.stats.Lines+1, n, io.ErrUnexpectedEOF)
+			}
+			return nil, fmt.Errorf("wmslog: binary record %d: %w", p.stats.Lines+1, err)
+		}
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]Entry, 512)
+	}
+	e := &p.slab[0]
+	p.slab = p.slab[1:]
+	if err := ParseBinary(e, rec, p.dict); err != nil {
+		return nil, fmt.Errorf("wmslog: binary record %d: %w", p.stats.Lines+1, err)
+	}
+	if perr == nil {
+		p.br.Discard(int(n))
+	}
+	p.stats.Lines++
+	p.stats.Entries++
+	p.stats.Binary++
+	return e, nil
 }
 
 // parseData decodes one data line: canonical fast path, then the
@@ -206,6 +307,7 @@ func ReadFiles(paths []string, tolerant bool) ([]*Entry, ParseStats, error) {
 		total.Comments += st.Comments
 		total.Entries += st.Entries
 		total.Malformed += st.Malformed
+		total.Binary += st.Binary
 		all = append(all, entries...)
 		if err != nil {
 			return all, total, fmt.Errorf("wmslog: parse %s: %w", path, err)

@@ -17,6 +17,17 @@ const (
 	versionHeader  = "#Version: 1.0"
 )
 
+// EntryWriter is the sink contract shared by the text Writer and the
+// BinaryWriter: validate-and-append one entry, flush buffered bytes,
+// report how many entries were written. SyncWriter and DailyWriter are
+// generic over it, so every pipeline stage picks its on-disk format by
+// constructor, not by code path.
+type EntryWriter interface {
+	Write(e *Entry) error
+	Flush() error
+	Count() int64
+}
+
 // Writer streams entries to a single io.Writer with the standard header.
 type Writer struct {
 	w           *bufio.Writer
@@ -70,19 +81,20 @@ func (lw *Writer) Count() int64 { return lw.count }
 // Flush flushes buffered data to the underlying writer.
 func (lw *Writer) Flush() error { return lw.w.Flush() }
 
-// SyncWriter makes a Writer safe for concurrent use — the form a live
-// server's completion sink needs, where connection handlers finish (and
-// log) concurrently. Each Write is atomic: entries never interleave
-// within a line, though their order across writers is whatever the
-// scheduler produced (entry timestamps, not file order, carry time).
+// SyncWriter makes an EntryWriter safe for concurrent use — the form a
+// live server's completion sink needs, where connection handlers finish
+// (and log) concurrently. Each Write is atomic: entries never
+// interleave within a record, though their order across writers is
+// whatever the scheduler produced (entry timestamps, not file order,
+// carry time).
 type SyncWriter struct {
 	mu sync.Mutex
-	w  *Writer
+	w  EntryWriter
 }
 
-// NewSyncWriter wraps w. The underlying Writer must no longer be used
+// NewSyncWriter wraps w. The underlying writer must no longer be used
 // directly.
-func NewSyncWriter(w *Writer) *SyncWriter {
+func NewSyncWriter(w EntryWriter) *SyncWriter {
 	return &SyncWriter{w: w}
 }
 
@@ -114,22 +126,39 @@ func (sw *SyncWriter) Count() int64 {
 //
 // Entries must be written in non-decreasing timestamp order; the writer
 // rotates when an entry's date moves past the current file's date.
+//
+// With Binary set, daily files carry the length-prefixed binary framing
+// instead of text lines. Each file opens its own dictionary (a reader
+// never needs cross-file state), and downstream readers auto-detect the
+// format by magic bytes, so mixed text/binary directories merge fine.
 type DailyWriter struct {
-	Dir string
+	Dir    string
+	Binary bool
 
 	cur     *os.File
 	curDay  int // packed y*10000 + m*100 + d of the open file, 0 when none
-	writer  *Writer
+	writer  EntryWriter
 	files   []string
 	entries int64
 }
 
-// NewDailyWriter creates the directory if needed and returns a writer.
+// NewDailyWriter creates the directory if needed and returns a writer
+// producing text daily files.
 func NewDailyWriter(dir string) (*DailyWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wmslog: create log dir: %w", err)
 	}
 	return &DailyWriter{Dir: dir}, nil
+}
+
+// NewDailyBinaryWriter is NewDailyWriter with the binary framing.
+func NewDailyBinaryWriter(dir string) (*DailyWriter, error) {
+	dw, err := NewDailyWriter(dir)
+	if err != nil {
+		return nil, err
+	}
+	dw.Binary = true
+	return dw, nil
 }
 
 // Write routes the entry to the file for its calendar day. The day
@@ -161,7 +190,11 @@ func (dw *DailyWriter) rotate(day int, ts time.Time) error {
 	}
 	dw.cur = f
 	dw.curDay = day
-	dw.writer = NewWriter(f)
+	if dw.Binary {
+		dw.writer = NewBinaryWriter(f)
+	} else {
+		dw.writer = NewWriter(f)
+	}
 	dw.files = append(dw.files, name)
 	return nil
 }

@@ -3,7 +3,9 @@
 # lsmload replays a generated ~100-client workload with a flash-crowd
 # scenario at compressed virtual time, and the served WMS log is parsed
 # back and compared against the offered workload — exact session and
-# transfer counts or the script fails.
+# transfer counts or the script fails. The served log is then detoured
+# through the framed binary format: text → binary → text must be
+# byte-identical and -check must accept the binary file directly.
 set -euo pipefail
 
 BIN=${BIN:-bin}
@@ -36,4 +38,13 @@ kill -INT "$SRV"
 wait "$SRV" || true
 
 "$BIN"/lsmload -check "$DIR/meta.json" -logs "$DIR/transfers.log"
+
+# Binary fast-path detour over the real served log: the conversion must
+# round-trip byte for byte, and -check must parse the binary file
+# directly (format auto-detected by magic bytes, no flag).
+"$BIN"/lsmlog convert -to binary "$DIR/transfers.log" "$DIR/transfers.bin"
+"$BIN"/lsmlog convert -to text "$DIR/transfers.bin" "$DIR/roundtrip.log"
+cmp "$DIR/transfers.log" "$DIR/roundtrip.log"
+"$BIN"/lsmload -check "$DIR/meta.json" -logs "$DIR/transfers.bin"
+echo "binary round trip: PASS"
 echo "e2e smoke: PASS"

@@ -13,6 +13,11 @@
 # the merged logs must still MATCH the offered workload minus exactly
 # the transfers the replay recorded as lost.
 #
+# Readiness and fleet-side assertions go through the /metrics ops
+# surface (lsmfleet/lsmserve -metrics), not by grepping process logs:
+# node registration, redirect counts, per-node serve counters, busy
+# refusals, and the post-kill live-node count are all read with curl.
+#
 # Artifacts (server/client output, per-node logs, merged logs, metas)
 # land in $OUT; on success a temp OUT is removed, on failure it is kept
 # (CI sets OUT inside the workspace and uploads it).
@@ -20,6 +25,8 @@ set -euo pipefail
 
 BIN=${BIN:-bin}
 PORT=${PORT:-18600} # redirector; nodes take PORT+1..PORT+3
+MPORT=$((PORT + 20)) # /metrics: fleet at MPORT, node i at MPORT+i
+FLEET_METRICS="http://127.0.0.1:$MPORT/metrics"
 CLEAN_OUT=0
 if [ -z "${OUT:-}" ]; then
     OUT=$(mktemp -d)
@@ -51,8 +58,20 @@ wait_grep() {
     return 1
 }
 
-# entries FILE — count data lines (non-header) in a wms log.
-entries() { grep -vc '^#' "$1" || true; }
+# metric URL NAME — print NAME's value from a /metrics endpoint.
+metric() { curl -sf "$1" | sed -n "s/^$2 //p"; }
+
+# wait_metric URL NAME VALUE — poll up to ~10s for NAME to read VALUE.
+wait_metric() {
+    local v=
+    for _ in $(seq 1 100); do
+        v=$(metric "$1" "$2" 2>/dev/null || true)
+        if [ "$v" = "$3" ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "timed out waiting for $2=$3 at $1 (last: ${v:-unreachable})" >&2
+    return 1
+}
 
 # The same ~100-client, 1-trace-hour flash-crowd workload the single
 # node e2e replays, so fleet and single-node realizations are
@@ -63,19 +82,22 @@ REPLAY=(-compression 600 -conns 200)
 start_fleet() { # $1 = phase dir
     local dir="$OUT/$1"
     mkdir -p "$dir"
-    "$BIN"/lsmfleet -addr "127.0.0.1:$PORT" -policy hash > "$dir/fleet.out" 2>&1 &
+    "$BIN"/lsmfleet -addr "127.0.0.1:$PORT" -policy hash \
+        -metrics "127.0.0.1:$MPORT" > "$dir/fleet.out" 2>&1 &
     PIDS+=($!)
     FLEET_PID=$!
-    wait_grep "$dir/fleet.out" "fleet redirector on"
+    # The metrics endpoint answering means the redirector is up.
+    wait_metric "$FLEET_METRICS" nodes_up 0
     NODE_PIDS=()
     for i in 1 2 3; do
         "$BIN"/lsmserve -addr "127.0.0.1:$((PORT + i))" -log "$dir/node$i.log" \
             -fleet "127.0.0.1:$PORT" -beat 200ms \
+            -metrics "127.0.0.1:$((MPORT + i))" \
             -max-conns 600 -write-timeout 15s > "$dir/node$i.out" 2>&1 &
         PIDS+=($!)
         NODE_PIDS+=($!)
     done
-    wait_grep "$dir/fleet.out" "nodes: 3 registered"
+    wait_metric "$FLEET_METRICS" nodes_up 3
 }
 
 stop_fleet() { # graceful: flush node logs, then stop the redirector
@@ -89,19 +111,44 @@ echo "=== phase A: 3-node hash fleet, exact merged-log match ==="
 start_fleet a
 "$BIN"/lsmload -addr "127.0.0.1:$PORT" -frontend \
     "${WORKLOAD[@]}" "${REPLAY[@]}" -meta "$OUT/a/meta.json" | tee "$OUT/a/replay.out"
-stop_fleet
 
-# The hash policy must actually have spread the workload.
+# Fleet-side view of the replay, read from /metrics while the
+# processes are still up: routing happened, nothing was refused for
+# lack of nodes, no heartbeat expired, and the hash policy actually
+# spread the workload across the per-node serve counters.
+curl -sf "$FLEET_METRICS" | tee "$OUT/a/fleet.metrics"
+REDIRECTS=$(metric "$FLEET_METRICS" redirects)
+if [ "$REDIRECTS" -eq 0 ]; then
+    echo "front-end issued no redirects" >&2
+    exit 1
+fi
+if [ "$(metric "$FLEET_METRICS" no_node_errors)" -ne 0 ]; then
+    echo "front-end refused lookups for lack of nodes" >&2
+    exit 1
+fi
+if [ "$(metric "$FLEET_METRICS" heartbeat_expiries)" -ne 0 ]; then
+    echo "heartbeat expiries with all nodes healthy" >&2
+    exit 1
+fi
 SERVING=0
 for i in 1 2 3; do
-    n=$(entries "$OUT/a/node$i.log")
-    echo "node$i served $n transfers"
-    [ "$n" -gt 0 ] && SERVING=$((SERVING + 1))
+    url="http://127.0.0.1:$((MPORT + i))/metrics"
+    curl -sf "$url" > "$OUT/a/node$i.metrics"
+    n=$(metric "$url" transfers_served)
+    refused=$(metric "$url" conns_refused)
+    echo "node$i served $n transfers ($refused refused)"
+    if [ "$refused" -ne 0 ]; then
+        echo "node$i hit its connection cap during the replay" >&2
+        exit 1
+    fi
+    if [ "$n" -gt 0 ]; then SERVING=$((SERVING + 1)); fi
 done
 if [ "$SERVING" -lt 2 ]; then
     echo "hash policy routed everything to $SERVING node(s)" >&2
     exit 1
 fi
+echo "front-end issued $REDIRECTS redirects across $SERVING serving nodes"
+stop_fleet
 
 "$BIN"/lsmfleet -merge "$OUT/a/merged.log" \
     "$OUT/a/node1.log" "$OUT/a/node2.log" "$OUT/a/node3.log" | tee "$OUT/a/merge.out"
@@ -139,6 +186,17 @@ KILLER=$!
     "${WORKLOAD[@]}" "${REPLAY[@]}" -max-failures 200 \
     -meta "$OUT/b/meta.json" | tee "$OUT/b/replay.out"
 wait "$KILLER" || true
+
+# The kill must be visible on the ops surface: the dead node's
+# registration connection dropped, so the fleet reports 2 live nodes
+# (immediate deregistration — the heartbeat TTL is only the
+# wedged-process bound, so expiries stay 0 here).
+curl -sf "$FLEET_METRICS" | tee "$OUT/b/fleet.metrics"
+NODES_UP=$(metric "$FLEET_METRICS" nodes_up)
+if [ "$NODES_UP" -ne 2 ]; then
+    echo "fleet reports $NODES_UP live node(s) after the kill, want 2" >&2
+    exit 1
+fi
 stop_fleet
 
 # The reroute must be visible in the loadgen metrics.

@@ -5,7 +5,10 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,6 +171,138 @@ func BenchmarkStreamingParseEntry(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := wmslog.ParseAppend(&e, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLog caches the rendered log fixture for the codec benchmarks:
+// the bench model's full serve-path log (~110k entries) in canonical
+// text and framed binary form, built once per process. Only the
+// pointer-free byte renderings are kept — a cached entry slice would
+// sit in the live set and be rescanned by every GC cycle the
+// benchmarks' own churn triggers, charging fixture bookkeeping to the
+// parser under test.
+var benchLog struct {
+	once    sync.Once
+	err     error
+	entries int
+	text    []byte
+	binary  []byte
+}
+
+func benchLogFixture(b *testing.B) (text, bin []byte, entries int) {
+	b.Helper()
+	benchLog.once.Do(func() {
+		benchLog.err = buildBenchLog()
+	})
+	if benchLog.err != nil {
+		b.Fatal(benchLog.err)
+	}
+	return benchLog.text, benchLog.binary, benchLog.entries
+}
+
+func buildBenchLog() error {
+	m, err := gismo.Scaled(100, 3)
+	if err != nil {
+		return err
+	}
+	m.BaseArrivalRate *= 60
+	ws, err := gismo.NewStream(m, benchSeed, 8)
+	if err != nil {
+		return err
+	}
+	defer ws.Close()
+	var text, bin bytes.Buffer
+	tw := wmslog.NewWriter(&text)
+	bw := wmslog.NewBinaryWriter(&bin)
+	n := 0
+	_, err = simulate.RunStream(ws, ws.Population(), m.Horizon, simulate.DefaultConfig(), benchSeed, simulate.StreamSinks{
+		Entry: func(e *wmslog.Entry) error {
+			n++
+			if err := tw.Write(e); err != nil {
+				return err
+			}
+			return bw.Write(e)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	benchLog.entries = n
+	benchLog.text = text.Bytes()
+	benchLog.binary = bin.Bytes()
+	return nil
+}
+
+// benchParseLog drains one rendering of the fixture log through the
+// auto-detecting Parser and checks the entry count.
+func benchParseLog(b *testing.B, data []byte, want int) {
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := wmslog.NewParser(bytes.NewReader(data))
+		got := 0
+		for {
+			_, err := p.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			got++
+		}
+		if got != want {
+			b.Fatalf("parsed %d entries, want %d", got, want)
+		}
+	}
+}
+
+// BenchmarkStreamingParseTextLog re-parses the full canonical text log
+// — the harvest-analysis baseline the binary fast path is gated
+// against.
+func BenchmarkStreamingParseTextLog(b *testing.B) {
+	text, _, entries := benchLogFixture(b)
+	benchParseLog(b, text, entries)
+}
+
+// BenchmarkStreamingParseBinaryLog re-parses the same log in the
+// framed binary format (same Parser, detected by magic bytes).
+func BenchmarkStreamingParseBinaryLog(b *testing.B) {
+	_, bin, entries := benchLogFixture(b)
+	benchParseLog(b, bin, entries)
+}
+
+// BenchmarkStreamingEncodeBinaryLog frames every fixture entry through
+// a BinaryWriter (dictionary coding included) — the serve-path cost of
+// -log-format binary.
+func BenchmarkStreamingEncodeBinaryLog(b *testing.B) {
+	_, bin, n := benchLogFixture(b)
+	entries, _, err := wmslog.ReadAll(bytes.NewReader(bin), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(entries) != n {
+		b.Fatalf("fixture decode: %d entries, want %d", len(entries), n)
+	}
+	b.SetBytes(int64(len(bin)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw := wmslog.NewBinaryWriter(io.Discard)
+		for _, e := range entries {
+			if err := bw.Write(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
 			b.Fatal(err)
 		}
 	}
