@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: verify build lint test race bench bench-gate fuzz e2e e2e-fleet profile
+.PHONY: verify build lint test race bench bench-gate bench-history fuzz e2e e2e-fleet profile
 
 # Extra flags for the e2e binaries (CI passes E2E_BUILDFLAGS=-race to
 # run the socket smokes under the race detector).
@@ -27,12 +27,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# BENCH_MATRIX selects the benchmarks that run the -cpu 1,2,4,8
+# matrix: the parallel serve path, sharded generation (plus its
+# sequential baseline, which speedup_vs_sequential divides by at the
+# same GOMAXPROCS), and the fused end-to-end RunStreamed pipeline.
+BENCH_MATRIX := BenchmarkStreamingServe|BenchmarkStreamingGenerate(Sequential|Shards)|BenchmarkRunStreamed
+
 # bench runs the streaming-pipeline benchmarks (sequential vs sharded
 # generation, streamed serving) and renders BENCH_streaming.json —
 # ns/op and bytes/op per benchmark — seeding the perf trajectory. The
-# serve benchmarks additionally run a -cpu 1,2,4,8 matrix so the
-# sharded path's scaling (metrics.speedup_vs_sequential, computed per
-# GOMAXPROCS against the sequential serve) is part of the record.
+# serve, generate, and end-to-end benchmarks additionally run a -cpu
+# 1,2,4,8 matrix so each parallel path's scaling
+# (metrics.speedup_vs_sequential, computed per GOMAXPROCS against its
+# sequential baseline) is part of the record.
 # The bench output is written to a file first so a failing `go test`
 # fails the target instead of being masked by a pipe; every failing
 # step deletes the intermediate so a rerun never ingests stale output,
@@ -40,7 +47,7 @@ race:
 # then mv) so a failed render cannot truncate it.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 1 . > bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
-	$(GO) test -run '^$$' -bench 'BenchmarkStreamingServe' -benchmem -count 1 -cpu 1,2,4,8 . >> bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH_MATRIX)' -benchmem -count 1 -cpu 1,2,4,8 . >> bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	cat bench_streaming.txt
 	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_streaming.json.tmp || { rm -f bench_streaming.txt BENCH_streaming.json.tmp; exit 1; }
 	mv BENCH_streaming.json.tmp BENCH_streaming.json
@@ -48,23 +55,38 @@ bench:
 	@echo "wrote BENCH_streaming.json"
 
 # bench-gate is the CI perf gate: run the benchmarks fresh (including
-# the serve -cpu matrix), write the result to BENCH_fresh.json
-# (uploaded as an artifact), and fail if any benchmark variant's ns/op
+# the -cpu matrix), write the result to bench_fresh.json (uploaded as
+# an artifact; lowercase so it can never be mistaken for a committed
+# BENCH_*.json baseline), and fail if any benchmark variant's ns/op
 # regressed more than 25% — or its speedup_vs_sequential dropped more
-# than 15% — against the committed BENCH_streaming.json baseline. On a
-# runner with fewer than 4 cores the multi-core variants and the
-# speedup metric are skipped with a visible warning instead of gated.
-# Three runs per benchmark; the compare gates on each variant's best
-# run, damping shared-runner noise. The comparison table (pass or
-# fail) is kept in bench_compare.txt so CI can publish it to the job's
-# step summary.
+# than 15% — against the committed BENCH_streaming.json baseline. The
+# gate first refuses to run unless BENCH_streaming.json is the one and
+# only BENCH_*.json in the repo root, so it can never silently compare
+# against a stray duplicate baseline. On a runner with fewer than 4
+# cores the multi-core variants and the speedup metric are skipped
+# with a visible warning instead of gated. Three runs per benchmark;
+# the compare gates on each variant's best run, damping shared-runner
+# noise. The comparison table (pass or fail) is kept in
+# bench_compare.txt so CI can publish it to the job's step summary.
 bench-gate:
+	@baselines="$$(ls BENCH_*.json 2>/dev/null)"; \
+	    if [ "$$baselines" != "BENCH_streaming.json" ]; then \
+	        echo "bench-gate: expected exactly one baseline (BENCH_streaming.json), found:" >&2; \
+	        echo "$${baselines:-  (none)}" >&2; \
+	        exit 1; \
+	    fi
 	$(GO) test -run '^$$' -bench 'BenchmarkStreaming' -benchmem -count 3 . > bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
-	$(GO) test -run '^$$' -bench 'BenchmarkStreamingServe' -benchmem -count 3 -cpu 1,2,4,8 . >> bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH_MATRIX)' -benchmem -count 3 -cpu 1,2,4,8 . >> bench_streaming.txt || { rm -f bench_streaming.txt; exit 1; }
 	cat bench_streaming.txt
-	$(GO) run ./cmd/benchjson < bench_streaming.txt > BENCH_fresh.json || { rm -f bench_streaming.txt; exit 1; }
+	$(GO) run ./cmd/benchjson < bench_streaming.txt > bench_fresh.json || { rm -f bench_streaming.txt; exit 1; }
 	$(GO) run ./cmd/benchjson -compare BENCH_streaming.json -threshold 0.25 -min-cores 4 < bench_streaming.txt > bench_compare.txt 2>&1; \
 	    status=$$?; cat bench_compare.txt; rm -f bench_streaming.txt; exit $$status
+
+# bench-history renders the perf trajectory of the committed baseline
+# (every BENCH_streaming.json revision in git, oldest → newest) as a
+# markdown trend table; CI appends it to the bench-gate step summary.
+bench-history:
+	$(GO) run ./cmd/benchjson -history BENCH_streaming.json
 
 # fuzz runs the wmslog codec fuzzers: the text AppendEntry/ParseAppend
 # round trip and the framed-binary round trip. `go test` runs one fuzz

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// history renders the perf trajectory of a committed baseline JSON as
+// a markdown trend table: one column per commit that touched the file
+// (oldest → newest), one row per benchmark variant, each cell the
+// variant's ns/op · allocs/op · speedup_vs_sequential at that commit.
+// CI publishes this from the bench-gate job's step summary, so every
+// run shows where the recorded numbers have been, not just where they
+// are.
+func history(file string, w io.Writer) error {
+	out, err := exec.Command("git", "log", "--reverse", "--format=%H %h %cs", "--", file).Output()
+	if err != nil {
+		return fmt.Errorf("git log -- %s: %w", file, err)
+	}
+	type snapshot struct {
+		short, date string
+		best        map[string]Result
+	}
+	var snaps []snapshot
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		parts := strings.Fields(line)
+		if len(parts) < 3 {
+			continue
+		}
+		blob, err := exec.Command("git", "show", parts[0]+":"+file).Output()
+		if err != nil {
+			continue // commit deleted or renamed the file; nothing to chart
+		}
+		var rep Report
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			continue // pre-JSON or corrupt snapshot; skip, don't fail the trend
+		}
+		snaps = append(snaps, snapshot{short: parts[1], date: parts[2], best: bestByName(&rep)})
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no parseable baseline snapshots in git history for %s", file)
+	}
+
+	keys := make(map[string]bool)
+	for _, s := range snaps {
+		for k := range s.best {
+			keys[k] = true
+		}
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+
+	fmt.Fprintf(w, "## Perf trajectory · %s · %d baseline(s), oldest → newest\n\n", file, len(snaps))
+	fmt.Fprintf(w, "Cell format: `ns/op · allocs/op` (and `· speedup` where %s is recorded); `—` = not in that baseline.\n\n", speedupMetric)
+	fmt.Fprint(w, "| benchmark |")
+	for _, s := range snaps {
+		fmt.Fprintf(w, " %s %s |", s.short, s.date)
+	}
+	fmt.Fprint(w, "\n|---|")
+	for range snaps {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, k := range ordered {
+		fmt.Fprintf(w, "| %s |", k)
+		for _, s := range snaps {
+			r, ok := s.best[k]
+			if !ok {
+				fmt.Fprint(w, " — |")
+				continue
+			}
+			cell := fmt.Sprintf("%s · %.0f", fmtNs(r.NsPerOp), r.AllocsPerOp)
+			if sp := r.Metrics[speedupMetric]; sp > 0 {
+				cell += fmt.Sprintf(" · %.2fx", sp)
+			}
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// fmtNs renders a ns/op value at a human scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -10,10 +10,12 @@
 // -N name suffix is parsed into the gomaxprocs field rather than
 // discarded, and the report records the machine's core count
 // (num_cpu) so a reader can judge what the multi-core rows mean. For
-// parallel benchmarks named by -speedup (prefix=sequentialBase, by
-// default the sharded serve against the sequential serve), each
-// variant also gets metrics.speedup_vs_sequential — the sequential
-// baseline's ns/op at the same GOMAXPROCS divided by its own.
+// parallel benchmarks named by -speedup (comma-separated
+// prefix=sequentialBase pairs; by default the sharded serve, sharded
+// generation, and fused end-to-end families against their sequential
+// forms), each variant also gets metrics.speedup_vs_sequential — the
+// pair's sequential baseline's ns/op at the same GOMAXPROCS divided
+// by its own.
 //
 // With -compare the tool becomes the CI perf gate: fresh bench output
 // on stdin is compared against a committed baseline JSON, and any
@@ -30,6 +32,12 @@
 // skips GOMAXPROCS>1 variants and the speedup metric with a loud
 // SKIP line per variant instead of judging parallel scaling a
 // single-core box cannot exhibit.
+//
+// With -history the tool reads nothing from stdin and instead renders
+// the perf trajectory of a committed baseline: every git revision of
+// the named JSON becomes one column of a markdown trend table
+// (oldest → newest, ns/op · allocs/op · speedup per benchmark), which
+// CI publishes to the bench-gate step summary.
 //
 // Benchmarks present on only one side are reported but never fail the
 // gate — adding or retiring a benchmark is not a regression. A
@@ -83,32 +91,49 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// speedupSpec is the parsed -speedup flag: benchmarks whose name
+// speedupSpec is one parsed -speedup pair: benchmarks whose name
 // starts with prefix are measured against the benchmark named base.
 type speedupSpec struct {
 	prefix string
 	base   string
 }
 
+// defaultSpeedup pairs every parallel benchmark family with its
+// sequential baseline: sharded serve vs sequential serve, sharded
+// generation vs single-shard generation, and the fused end-to-end run
+// vs its single-shard form.
+const defaultSpeedup = "BenchmarkStreamingServeSharded=BenchmarkStreamingServe," +
+	"BenchmarkStreamingGenerateShards=BenchmarkStreamingGenerateSequential," +
+	"BenchmarkRunStreamedShards=BenchmarkRunStreamedSequential"
+
 // compareOpts parameterizes the gate.
 type compareOpts struct {
-	threshold float64     // allowed fractional regression per gated metric
-	speedup   speedupSpec // which benchmarks carry the speedup metric
-	numCPU    int         // cores on this machine
-	minCores  int         // below this, multi-core variants are skipped
+	threshold float64       // allowed fractional regression per gated metric
+	speedup   []speedupSpec // which benchmarks carry the speedup metric
+	numCPU    int           // cores on this machine
+	minCores  int           // below this, multi-core variants are skipped
 }
 
 func main() {
 	var (
 		baseline  = flag.String("compare", "", "baseline JSON to compare against; regressions beyond -threshold fail")
 		threshold = flag.Float64("threshold", 0.25, "allowed fractional ns/op regression in -compare mode")
-		speedup   = flag.String("speedup", "BenchmarkStreamingServeSharded=BenchmarkStreamingServe",
-			"prefix=base: annotate benchmarks matching prefix with speedup_vs_sequential against base (empty disables)")
-		minCores = flag.Int("min-cores", 4, "skip gating GOMAXPROCS>1 variants and speedup on machines with fewer cores")
+		speedup   = flag.String("speedup", defaultSpeedup,
+			"comma-separated prefix=base pairs: annotate benchmarks matching prefix with speedup_vs_sequential against base (empty disables)")
+		minCores    = flag.Int("min-cores", 4, "skip gating GOMAXPROCS>1 variants and speedup on machines with fewer cores")
+		historyFile = flag.String("history", "", "render a markdown perf-trend table from the git history of this baseline JSON and exit")
 	)
 	flag.Parse()
 
-	spec, err := parseSpeedupSpec(*speedup)
+	if *historyFile != "" {
+		if err := history(*historyFile, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	specs, err := parseSpeedupSpecs(*speedup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -120,7 +145,7 @@ func main() {
 		os.Exit(1)
 	}
 	report.NumCPU = runtime.NumCPU()
-	annotateSpeedup(report, spec)
+	annotateSpeedup(report, specs)
 
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
@@ -133,7 +158,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
-		opts := compareOpts{threshold: *threshold, speedup: spec, numCPU: runtime.NumCPU(), minCores: *minCores}
+		opts := compareOpts{threshold: *threshold, speedup: specs, numCPU: runtime.NumCPU(), minCores: *minCores}
 		if opts.numCPU < opts.minCores {
 			fmt.Fprintf(os.Stderr, "benchjson: WARNING: %d core(s) < -min-cores %d; multi-core variants and %s are not gated on this machine\n",
 				opts.numCPU, opts.minCores, speedupMetric)
@@ -161,15 +186,23 @@ func main() {
 	}
 }
 
-func parseSpeedupSpec(s string) (speedupSpec, error) {
+func parseSpeedupSpecs(s string) ([]speedupSpec, error) {
 	if s == "" {
-		return speedupSpec{}, nil
+		return nil, nil
 	}
-	prefix, base, ok := strings.Cut(s, "=")
-	if !ok || prefix == "" || base == "" {
-		return speedupSpec{}, fmt.Errorf("bad -speedup %q: want prefix=baseBenchmark", s)
+	var specs []speedupSpec
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		prefix, base, ok := strings.Cut(pair, "=")
+		if !ok || prefix == "" || base == "" {
+			return nil, fmt.Errorf("bad -speedup pair %q: want prefix=baseBenchmark", pair)
+		}
+		specs = append(specs, speedupSpec{prefix: prefix, base: base})
 	}
-	return speedupSpec{prefix: prefix, base: base}, nil
+	return specs, nil
 }
 
 // variantKey distinguishes -cpu matrix rows: GOMAXPROCS>1 variants get
@@ -184,39 +217,38 @@ func variantKey(name string, gomaxprocs int) string {
 }
 
 // annotateSpeedup attaches metrics.speedup_vs_sequential to every
-// benchmark matching the spec prefix: the base benchmark's best ns/op
-// at the same GOMAXPROCS over this result's ns/op. Variants with no
-// same-GOMAXPROCS baseline are left unannotated — comparing across
+// benchmark matching a spec prefix: the pair's base benchmark's best
+// ns/op at the same GOMAXPROCS over this result's ns/op. Variants with
+// no same-GOMAXPROCS baseline are left unannotated — comparing across
 // different proc counts would flatter or slander the parallel path.
-func annotateSpeedup(report *Report, spec speedupSpec) {
-	if spec.prefix == "" {
-		return
-	}
-	seq := make(map[int]float64)
-	for _, r := range report.Benchmarks {
-		if r.Name != spec.base || r.NsPerOp <= 0 {
+func annotateSpeedup(report *Report, specs []speedupSpec) {
+	for _, spec := range specs {
+		seq := make(map[int]float64)
+		for _, r := range report.Benchmarks {
+			if r.Name != spec.base || r.NsPerOp <= 0 {
+				continue
+			}
+			if cur, ok := seq[r.Gomaxprocs]; !ok || r.NsPerOp < cur {
+				seq[r.Gomaxprocs] = r.NsPerOp
+			}
+		}
+		if len(seq) == 0 {
 			continue
 		}
-		if cur, ok := seq[r.Gomaxprocs]; !ok || r.NsPerOp < cur {
-			seq[r.Gomaxprocs] = r.NsPerOp
+		for i := range report.Benchmarks {
+			r := &report.Benchmarks[i]
+			if r.Name == spec.base || !strings.HasPrefix(r.Name, spec.prefix) || r.NsPerOp <= 0 {
+				continue
+			}
+			base, ok := seq[r.Gomaxprocs]
+			if !ok {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[speedupMetric] = base / r.NsPerOp
 		}
-	}
-	if len(seq) == 0 {
-		return
-	}
-	for i := range report.Benchmarks {
-		r := &report.Benchmarks[i]
-		if r.Name == spec.base || !strings.HasPrefix(r.Name, spec.prefix) || r.NsPerOp <= 0 {
-			continue
-		}
-		base, ok := seq[r.Gomaxprocs]
-		if !ok {
-			continue
-		}
-		if r.Metrics == nil {
-			r.Metrics = make(map[string]float64)
-		}
-		r.Metrics[speedupMetric] = base / r.NsPerOp
 	}
 }
 

@@ -82,7 +82,7 @@ func TestAnnotateSpeedup(t *testing.T) {
 		{Name: "BenchmarkServeSharded4", Gomaxprocs: 16, NsPerOp: 200}, // no base at 16
 		{Name: "BenchmarkUnrelated", Gomaxprocs: 4, NsPerOp: 50},
 	}}
-	annotateSpeedup(report, speedupSpec{prefix: "BenchmarkServeSharded", base: "BenchmarkServe"})
+	annotateSpeedup(report, []speedupSpec{{prefix: "BenchmarkServeSharded", base: "BenchmarkServe"}})
 
 	want := map[int]float64{1: 1000.0 / 1100, 4: 900.0 / 300}
 	for _, r := range report.Benchmarks {
@@ -100,6 +100,49 @@ func TestAnnotateSpeedup(t *testing.T) {
 				t.Errorf("%s wrongly annotated", r.Name)
 			}
 		}
+	}
+}
+
+// TestParseSpeedupSpecs: the flag is a comma-separated list of
+// prefix=base pairs; a malformed pair fails parsing loudly.
+func TestParseSpeedupSpecs(t *testing.T) {
+	specs, err := parseSpeedupSpecs("BenchA=BenchSeqA, BenchB=BenchSeqB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].prefix != "BenchA" || specs[1].base != "BenchSeqB" {
+		t.Errorf("parsed %+v", specs)
+	}
+	if s, err := parseSpeedupSpecs(""); err != nil || s != nil {
+		t.Errorf("empty flag: %v %v", s, err)
+	}
+	if _, err := parseSpeedupSpecs("BenchA=Base,oops"); err == nil {
+		t.Error("malformed pair accepted")
+	}
+}
+
+// TestAnnotateSpeedupMultiPair: each pair annotates its own family
+// against its own base; families never cross.
+func TestAnnotateSpeedupMultiPair(t *testing.T) {
+	report := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServe", Gomaxprocs: 4, NsPerOp: 800},
+		{Name: "BenchmarkServeSharded4", Gomaxprocs: 4, NsPerOp: 200},
+		{Name: "BenchmarkGenSequential", Gomaxprocs: 4, NsPerOp: 600},
+		{Name: "BenchmarkGenShards4", Gomaxprocs: 4, NsPerOp: 300},
+	}}
+	annotateSpeedup(report, []speedupSpec{
+		{prefix: "BenchmarkServeSharded", base: "BenchmarkServe"},
+		{prefix: "BenchmarkGenShards", base: "BenchmarkGenSequential"},
+	})
+	got := map[string]float64{}
+	for _, r := range report.Benchmarks {
+		if s, ok := r.Metrics[speedupMetric]; ok {
+			got[r.Name] = s
+		}
+	}
+	want := map[string]float64{"BenchmarkServeSharded4": 4.0, "BenchmarkGenShards4": 2.0}
+	if len(got) != len(want) || got["BenchmarkServeSharded4"] != 4.0 || got["BenchmarkGenShards4"] != 2.0 {
+		t.Errorf("speedups = %v, want %v", got, want)
 	}
 }
 

@@ -19,6 +19,11 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/sessions": true,
 	"repro/internal/rate":     true,
 	"repro/internal/ring":     true,
+	// The fused generate→serve corridor spans these two as of the
+	// ring-seam front half: heapx orders every shard's pending sessions,
+	// core drives the end-to-end streamed run.
+	"repro/internal/heapx": true,
+	"repro/internal/core":  true,
 }
 
 // wallclockFuncs are the package time functions that read (or schedule

@@ -16,6 +16,11 @@ const (
 	// SPSC ring: how far the dispatcher may run ahead of a worker, and
 	// a worker ahead of the collector, before backpressure parks them.
 	laneRingDepth = 512
+	// dispatchStage is the per-lane staging-buffer size: the dispatcher
+	// accumulates admitted events per lane and publishes them with one
+	// bulk ring push (one atomic store + one wake per stage) instead of
+	// one per event.
+	dispatchStage = 64
 	// maxReorderWindow caps the collector's reorder window so a huge
 	// lane count cannot balloon the collector's footprint.
 	maxReorderWindow = 32768
@@ -86,6 +91,171 @@ func releaseServed(sv *served) {
 	sv.dup, sv.dupC = nil, nil
 }
 
+// laneRouter fans admitted events out to the lane input rings through
+// per-lane staging buffers: route appends to the event's lane stage,
+// and a full stage is published with one SPSC.TryPushN — one atomic
+// store and one wake per dispatchStage events instead of one per
+// event. All input rings share a single producer gate (the dispatcher
+// is the sole producer of every ring), so when no ring can take more
+// the dispatcher parks once and any worker's Advance unparks it.
+//
+// Liveness: flushAll drains *every* lane's stage before parking. If a
+// lane's staged items cannot flush, that lane's ring is full of
+// strictly earlier, not-yet-served items — so the sequence the
+// collector needs next is never stranded in staging; it is always
+// already in a ring, a worker, or the reorder window, where the
+// backpressure chain drains it.
+type laneRouter struct {
+	in    []*ring.SPSC[laneItem]
+	stage []laneStage
+	gate  *ring.Gate // shared producer gate across all input rings
+	stop  <-chan struct{}
+}
+
+// laneStage is one lane's staging buffer; pos is the first index not
+// yet pushed to the ring (a partial flush leaves pos < len(buf)).
+type laneStage struct {
+	buf []laneItem
+	pos int
+}
+
+func newLaneRouter(in []*ring.SPSC[laneItem], gate *ring.Gate, stop <-chan struct{}) *laneRouter {
+	rt := &laneRouter{in: in, stage: make([]laneStage, len(in)), gate: gate, stop: stop}
+	for k := range rt.stage {
+		rt.stage[k].buf = make([]laneItem, 0, dispatchStage)
+	}
+	return rt
+}
+
+// route stages it for lane, flushing when the stage fills. It returns
+// false only if the run was aborted while blocked on full rings.
+//
+//lsm:hotpath
+func (rt *laneRouter) route(lane int, it laneItem) bool {
+	st := &rt.stage[lane]
+	st.buf = append(st.buf, it)
+	if len(st.buf) < cap(st.buf) {
+		return true
+	}
+	st.pos += rt.in[lane].TryPushN(st.buf[st.pos:])
+	if st.pos == len(st.buf) {
+		st.buf, st.pos = st.buf[:0], 0
+		return true
+	}
+	return rt.flushAll()
+}
+
+// flushRound makes one non-blocking pass over every stage, pushing
+// what fits. It reports whether anything remains staged and whether
+// this pass moved anything.
+func (rt *laneRouter) flushRound() (pending, progress bool) {
+	for k := range rt.stage {
+		st := &rt.stage[k]
+		if st.pos == len(st.buf) {
+			st.buf, st.pos = st.buf[:0], 0
+			continue
+		}
+		n := rt.in[k].TryPushN(st.buf[st.pos:])
+		if n > 0 {
+			progress = true
+		}
+		st.pos += n
+		if st.pos == len(st.buf) {
+			st.buf, st.pos = st.buf[:0], 0
+		} else {
+			pending = true
+		}
+	}
+	return pending, progress
+}
+
+// flushAll drains every staged item into the rings, parking on the
+// shared producer gate whenever a full pass makes no progress. It
+// returns false if the run aborts while parked.
+func (rt *laneRouter) flushAll() bool {
+	for {
+		pending, progress := rt.flushRound()
+		if !pending {
+			return true
+		}
+		if progress {
+			continue
+		}
+		rt.gate.Prepare()
+		if _, progress = rt.flushRound(); progress {
+			rt.gate.Cancel()
+			continue
+		}
+		if !rt.gate.Wait(rt.stop) {
+			return false
+		}
+	}
+}
+
+// fusedDispatch merges a ShardedStream's shard slabs directly in the
+// dispatcher: a loop-min scan over one cached head per shard, exactly
+// the merge gismo's Next runs — but batch-at-a-time over slabs, with
+// drained slabs recycled to their producing shard, and without the
+// per-event interface call or the separate merge stage. admit is the
+// dispatcher's validate-and-stage step; fusedDispatch returns false
+// as soon as admit does.
+//
+//lsm:hotpath
+func fusedDispatch(ss workload.ShardedStream, admit func(workload.Event) bool) bool {
+	type shardCursor struct {
+		hd    workload.Event // == slab[pos]; cached for the scan
+		slab  []workload.Event
+		pos   int
+		shard int
+	}
+	// The slab contract says slabs are non-empty, but skipping empties
+	// here keeps the merge correct for any conforming producer.
+	nextSlab := func(s int) ([]workload.Event, bool) {
+		for {
+			slab, ok := ss.NextSlab(s)
+			if !ok {
+				return nil, false
+			}
+			if len(slab) > 0 {
+				return slab, true
+			}
+			ss.RecycleSlab(s, slab)
+		}
+	}
+	cursors := make([]shardCursor, 0, ss.Shards())
+	for s := 0; s < ss.Shards(); s++ {
+		if slab, ok := nextSlab(s); ok {
+			cursors = append(cursors, shardCursor{hd: slab[0], slab: slab, shard: s})
+		}
+	}
+	for len(cursors) > 0 {
+		best := 0
+		for i := 1; i < len(cursors); i++ {
+			if cursors[i].hd.Less(cursors[best].hd) {
+				best = i
+			}
+		}
+		c := &cursors[best]
+		if !admit(c.hd) {
+			return false
+		}
+		c.pos++
+		if c.pos < len(c.slab) {
+			c.hd = c.slab[c.pos]
+			continue
+		}
+		ss.RecycleSlab(c.shard, c.slab)
+		if slab, ok := nextSlab(c.shard); ok {
+			c.slab, c.pos, c.hd = slab, 0, slab[0]
+			continue
+		}
+		last := len(cursors) - 1
+		cursors[best] = cursors[last]
+		cursors = cursors[:last]
+	}
+	return true
+}
+
 // RunStreamSharded is the parallel form of RunStream: a serial
 // dispatcher admits events in start order (computing the concurrency
 // level, the only cross-event state) and hash-partitions them across
@@ -94,6 +264,13 @@ func releaseServed(sv *served) {
 // from a private arena (see arena.go); and a collector merges the lane
 // outputs back into admission order before running the same end-time
 // reorder buffer as the sequential path.
+//
+// When src is a workload.ShardedStream (gismo's sharded generator),
+// the dispatcher merges the shard slabs inline (see fusedDispatch)
+// instead of pulling events one at a time through Next: the
+// generate→serve corridor then runs shard → ring → merge+dispatch →
+// lane with no intermediate merge goroutine and no per-event
+// interface hop.
 //
 // Because every per-transfer draw is a pure function of (seed, event
 // identity) — see serveLane — and the collector restores the exact
@@ -134,19 +311,24 @@ func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64,
 
 	stop := make(chan struct{}) // closed by the collector on abort
 	collGate := ring.NewGate()  // shared consumer gate: one park site for all output rings
+	prodGate := ring.NewGate()  // shared producer gate: one park site for all input rings
 	in := make([]*ring.SPSC[laneItem], lanes)
 	out := make([]*ring.SPSC[laneResult], lanes)
 	for k := 0; k < lanes; k++ {
-		in[k] = ring.NewSPSC[laneItem](laneRingDepth, ring.NewGate(), ring.NewGate())
+		in[k] = ring.NewSPSC[laneItem](laneRingDepth, prodGate, ring.NewGate())
 		out[k] = ring.NewSPSC[laneResult](laneRingDepth, ring.NewGate(), collGate)
 	}
 
 	// Dispatcher: the serial prologue. Validates the stream, tracks
-	// concurrency, and fans events out by client hash, one ring push
-	// per event. Its error and the concurrency peak are published
-	// before the input rings close — which happens-before each worker's
-	// output ring closes, which happens-before the collector's final
-	// reads (via the WaitGroups below).
+	// concurrency, and fans events out by client hash through per-lane
+	// staging buffers (see laneRouter). When the source is a
+	// workload.ShardedStream, the K-way merge runs inline here over the
+	// shard slabs — the fused form skips the per-event interface call
+	// and the generator-side merge goroutine entirely. The dispatcher's
+	// error and the concurrency peak are published before the input
+	// rings close — which happens-before each worker's output ring
+	// closes, which happens-before the collector's final reads (via the
+	// WaitGroups below).
 	var dispatchErr error
 	var peak int
 	var admitted int64
@@ -155,6 +337,7 @@ func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64,
 	go func() {
 		defer dispatcherDone.Done()
 		concurrency := newConcurrencyTracker()
+		router := newLaneRouter(in, prodGate, stop)
 		var lastStart int64
 		var seq int64
 		defer func() {
@@ -165,27 +348,45 @@ func RunStreamSharded(src workload.Stream, pop *gismo.Population, horizon int64,
 				r.Close()
 			}
 		}()
-		for {
-			ev, ok := src.Next()
-			if !ok {
-				return
-			}
+		// admit validates one event, records its concurrency level, and
+		// stages it for its lane. It returns false on a stream-contract
+		// violation (dispatchErr set) or on abort; either way staged but
+		// unflushed items are dropped — the run is failing and the
+		// collector only cross-checks counts on the success path.
+		admit := func(ev workload.Event) bool {
 			if ev.Client < 0 || ev.Client >= pop.Size() {
 				dispatchErr = fmt.Errorf("%w: client %d outside population of %d", ErrBadConfig, ev.Client, pop.Size())
-				return
+				return false
 			}
 			if seq > 0 && ev.Start < lastStart {
 				dispatchErr = fmt.Errorf("%w: stream not in start order (%d after %d)", ErrBadConfig, ev.Start, lastStart)
-				return
+				return false
 			}
 			lastStart = ev.Start
 			conc := concurrency.admit(ev.Start, ev.End())
 			lane := int(dist.Mix64(uint64(ev.Client), laneHash) % uint64(lanes))
-			if !in[lane].Push(laneItem{ev: ev, seq: seq, conc: int32(conc)}, stop) {
-				return // aborted
+			if !router.route(lane, laneItem{ev: ev, seq: seq, conc: int32(conc)}) {
+				return false // aborted
 			}
 			seq++
+			return true
 		}
+		if ss, ok := src.(workload.ShardedStream); ok {
+			if !fusedDispatch(ss, admit) {
+				return
+			}
+		} else {
+			for {
+				ev, ok := src.Next()
+				if !ok {
+					break
+				}
+				if !admit(ev) {
+					return
+				}
+			}
+		}
+		router.flushAll() // publish the tail before the rings close
 	}()
 
 	// Lane workers: all the per-transfer computation — server-model

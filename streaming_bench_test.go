@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gismo"
+	"repro/internal/sessions"
 	"repro/internal/simulate"
 	"repro/internal/wmslog"
 	"repro/internal/workload"
@@ -126,6 +128,35 @@ func benchServeSharded(b *testing.B, lanes int) {
 func BenchmarkStreamingServeSharded1(b *testing.B) { benchServeSharded(b, 1) }
 func BenchmarkStreamingServeSharded4(b *testing.B) { benchServeSharded(b, 4) }
 func BenchmarkStreamingServeSharded8(b *testing.B) { benchServeSharded(b, 8) }
+
+// benchRunStreamed times the whole pipeline end to end —
+// core.RunStreamed: sharded generation fused into the sharded serve
+// dispatcher (one serve lane per generator shard) plus the online
+// measurement layer — over the same fixture as the component benches.
+// This is the number the generate-front-half work moves: generation,
+// merge, dispatch, serve and measurement all overlap.
+func benchRunStreamed(b *testing.B, shards int) {
+	cfg := core.Config{
+		Model:          benchStreamModel(b),
+		Server:         simulate.DefaultConfig(),
+		SessionTimeout: sessions.DefaultTimeout,
+		Seed:           benchSeed,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunStreamed(cfg, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Served.Transfers), "transfers")
+		}
+	}
+}
+
+func BenchmarkRunStreamedSequential(b *testing.B) { benchRunStreamed(b, 1) }
+func BenchmarkRunStreamedShards4(b *testing.B)    { benchRunStreamed(b, 4) }
+func BenchmarkRunStreamedShards8(b *testing.B)    { benchRunStreamed(b, 8) }
 
 // benchEntry is a representative serve-path log entry for the encoder
 // benchmarks.

@@ -1,0 +1,82 @@
+// The shards×lanes parity grid: the generation shard count and the
+// serve lane count are both pure throughput knobs — the served WMS log
+// must be byte-identical (same md5) at every combination, including
+// through the fused ShardedStream dispatcher intake that skips the
+// event-at-a-time merge. This is the acceptance test for the ring-seam
+// generation front half.
+package repro
+
+import (
+	"crypto/md5"
+	"fmt"
+	"testing"
+
+	"repro/internal/gismo"
+	"repro/internal/simulate"
+	"repro/internal/wmslog"
+)
+
+// gridModel is the 110k-transfer bench fixture (benchStreamModel's
+// shape, reachable from a *testing.T).
+func gridModel(t *testing.T) gismo.Model {
+	t.Helper()
+	m, err := gismo.Scaled(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BaseArrivalRate *= 60
+	return m
+}
+
+func TestStreamShardLaneGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shards×lanes md5 parity grid")
+	}
+	m := gridModel(t)
+	cfg := simulate.DefaultConfig()
+	const seed = benchSeed
+
+	serveMD5 := func(shards int, run func(ws *gismo.WorkloadStream, sinks simulate.StreamSinks) (*simulate.StreamResult, error)) ([md5.Size]byte, *simulate.StreamResult) {
+		t.Helper()
+		ws, err := gismo.NewStream(m, seed, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ws.Close()
+		h := md5.New()
+		lw := wmslog.NewWriter(h)
+		res, err := run(ws, simulate.StreamSinks{Entry: lw.Write})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var sum [md5.Size]byte
+		h.Sum(sum[:0])
+		return sum, res
+	}
+
+	baseSum, baseRes := serveMD5(1, func(ws *gismo.WorkloadStream, sinks simulate.StreamSinks) (*simulate.StreamResult, error) {
+		return simulate.RunStream(ws, ws.Population(), m.Horizon, cfg, seed, sinks)
+	})
+	if baseRes.Transfers < 100_000 {
+		t.Fatalf("fixture too small for the grid to mean anything: %d transfers", baseRes.Transfers)
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, lanes := range []int{1, 2, 4, 8} {
+			key := fmt.Sprintf("shards=%d/lanes=%d", shards, lanes)
+			lanes := lanes
+			sum, res := serveMD5(shards, func(ws *gismo.WorkloadStream, sinks simulate.StreamSinks) (*simulate.StreamResult, error) {
+				return simulate.RunStreamSharded(ws, ws.Population(), m.Horizon, cfg, seed, lanes, sinks)
+			})
+			if sum != baseSum {
+				t.Errorf("%s: served log md5 differs from sequential", key)
+			}
+			if *res != *baseRes {
+				t.Errorf("%s: result %+v differs from sequential %+v", key, *res, *baseRes)
+			}
+		}
+	}
+}
