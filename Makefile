@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: verify build lint test race bench bench-gate bench-history fuzz e2e e2e-fleet profile
+.PHONY: verify build lint test race bench bench-gate bench-history fuzz e2e e2e-fleet e2e-twin profile
 
 # Extra flags for the e2e binaries (CI passes E2E_BUILDFLAGS=-race to
 # run the socket smokes under the race detector).
@@ -108,6 +108,15 @@ e2e:
 	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmload ./cmd/lsmload
 	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmlog ./cmd/lsmlog
 	BIN=$(BIN) ./scripts/e2e.sh
+
+# e2e-twin exercises the calibration loop: generate a workload, fit a
+# model to its characterization, regenerate a twin and KS-validate it
+# strictly, then feed the fitted spec back through lsmgen and check the
+# spec round-trips byte-identically.
+e2e-twin:
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmgen ./cmd/lsmgen
+	$(GO) build $(E2E_BUILDFLAGS) -o $(BIN)/lsmcal ./cmd/lsmcal
+	BIN=$(BIN) ./scripts/e2e_twin.sh
 
 # e2e-fleet exercises the horizontal axis: three lsmserve nodes behind
 # the lsmfleet redirector serve a replayed flash-crowd workload (hash

@@ -234,8 +234,7 @@ func BenchmarkFigure6PiecewisePoisson(b *testing.B) {
 	b.ResetTimer()
 	var rep core.PoissonReplica
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(int64(i) + 1))
-		rep = core.BuildPoissonReplica(f.set, f.tr.Horizon, measured, rng)
+		rep = core.BuildPoissonReplica(f.set, f.tr.Horizon, measured, int64(i)+1)
 	}
 	b.ReportMetric(rep.KS, "ks_vs_measured")
 }
@@ -548,7 +547,7 @@ func BenchmarkPipelineFullCharacterization(b *testing.B) {
 	f := getFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Characterize(f.tr, 1500, nil, rand.New(rand.NewSource(int64(i)))); err != nil {
+		if _, err := core.Characterize(f.tr, 1500, nil, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

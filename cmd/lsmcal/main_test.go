@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gismo"
+	"repro/internal/simulate"
+)
+
+// writeTestLogs fabricates a small two-day log directory.
+func writeTestLogs(t *testing.T) string {
+	t.Helper()
+	m, err := gismo.Scaled(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gismo.GenerateSeeded(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.Run(w, simulate.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := res.WriteLogs(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunFitsAndValidatesTwin(t *testing.T) {
+	logDir := writeTestLogs(t)
+	outPath := filepath.Join(t.TempDir(), "model.json")
+	code, err := run(logDir, 2, 1500, 5, outPath, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("strict twin validation failed with exit code %d", code)
+	}
+
+	// The written spec loads back through the strict loader.
+	m, err := gismo.LoadModel(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Horizon != 2*86400 {
+		t.Errorf("fitted horizon = %d", m.Horizon)
+	}
+	if m.Profile == nil {
+		t.Error("fitted model carries no empirical profile")
+	}
+}
+
+func TestRunWithoutTwinWritesSpecOnly(t *testing.T) {
+	logDir := writeTestLogs(t)
+	outPath := filepath.Join(t.TempDir(), "model.json")
+	code, err := run(logDir, 2, 1500, 1, outPath, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsEmptyDir(t *testing.T) {
+	if _, err := run(t.TempDir(), 2, 1500, 1, "", false, false); err == nil {
+		t.Error("empty log dir: want error")
+	}
+}

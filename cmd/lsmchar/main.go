@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
@@ -71,7 +70,7 @@ func run(logDir string, days int, timeout int64, figDir string, seed int64, plot
 	fmt.Printf("server load audit: %.4f%% of active time and %.4f%% of transfers below %.0f%% CPU\n",
 		audit.TimeBelowFrac*100, audit.TransferBelowFrac*100, audit.Threshold)
 
-	char, err := core.Characterize(clean, timeout, nil, rand.New(rand.NewSource(seed)))
+	char, err := core.Characterize(clean, timeout, nil, seed)
 	if err != nil {
 		return err
 	}

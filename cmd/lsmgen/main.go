@@ -5,7 +5,8 @@
 // Usage:
 //
 //	lsmgen -out logs/ [-scale 150] [-days 7] [-seed 1] [-model model.json]
-//	       [-log-format text|binary] [-stream] [-shards N] [-lanes N]
+//	       [-save-model model.json] [-log-format text|binary] [-stream]
+//	       [-shards N] [-lanes N]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -log-format binary writes the daily files in the framed binary
@@ -26,13 +27,17 @@
 // The profiling flags (internal/prof) capture the run as pprof/trace
 // artifacts; `make profile` is the canonical profiling invocation.
 //
-// The generated logs can then be characterized with lsmchar. With
-// -model the full model parameterization is also written as JSON so the
-// run can be reproduced or adjusted.
+// The generated logs can then be characterized with lsmchar, or closed
+// into the calibration loop with lsmcal. -model loads a model spec
+// (e.g. one fitted by `lsmcal -o`) instead of the -scale/-days
+// parameterization; -save-model writes the effective model spec so the
+// run can be reproduced or adjusted. The two compose: `-model a.json
+// -save-model b.json` round-trips the spec byte-identically. (-load is
+// the deprecated alias of -model from when -model meant the write
+// path.)
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,8 +56,9 @@ type options struct {
 	scale      float64
 	days       int
 	seed       int64
-	modelPath  string
+	savePath   string
 	loadPath   string
+	loadAlias  string
 	logFormat  string
 	stream     bool
 	shards     int
@@ -67,8 +73,9 @@ func main() {
 	flag.Float64Var(&o.scale, "scale", 150, "population/rate scale-down factor (1 = paper scale)")
 	flag.IntVar(&o.days, "days", 7, "trace length in days")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
-	flag.StringVar(&o.modelPath, "model", "", "optional path to write the model JSON")
-	flag.StringVar(&o.loadPath, "load", "", "optional model JSON to load instead of -scale/-days")
+	flag.StringVar(&o.loadPath, "model", "", "model spec JSON to load instead of -scale/-days (e.g. from lsmcal -o)")
+	flag.StringVar(&o.savePath, "save-model", "", "optional path to write the effective model spec JSON")
+	flag.StringVar(&o.loadAlias, "load", "", "deprecated alias for -model")
 	flag.StringVar(&o.logFormat, "log-format", "text", "daily log format: text (canonical) or binary (framed fast path)")
 	flag.BoolVar(&o.stream, "stream", false, "streaming mode: O(active sessions) memory, logs written as served")
 	flag.IntVar(&o.shards, "shards", 0, "generator shards in streaming mode (0 = one per CPU)")
@@ -80,6 +87,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lsmgen: -out is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if o.loadAlias != "" {
+		if o.loadPath != "" && o.loadPath != o.loadAlias {
+			fmt.Fprintln(os.Stderr, "lsmgen: -load is a deprecated alias for -model; set only one")
+			os.Exit(2)
+		}
+		o.loadPath = o.loadAlias
 	}
 	if o.logFormat != "text" && o.logFormat != "binary" {
 		fmt.Fprintf(os.Stderr, "lsmgen: -log-format %q: want text or binary\n", o.logFormat)
@@ -112,37 +126,24 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	if o.modelPath != "" {
-		data, err := json.MarshalIndent(model, "", "  ")
-		if err != nil {
+	if o.savePath != "" {
+		if err := model.Save(o.savePath); err != nil {
 			return err
 		}
-		if err := os.WriteFile(o.modelPath, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("model written to %s\n", o.modelPath)
+		fmt.Printf("model written to %s\n", o.savePath)
 	}
 	return nil
 }
 
 func resolveModel(o options) (gismo.Model, error) {
-	var model gismo.Model
 	if o.loadPath != "" {
-		data, err := os.ReadFile(o.loadPath)
-		if err != nil {
-			return model, err
-		}
-		if err := json.Unmarshal(data, &model); err != nil {
-			return model, fmt.Errorf("parse model: %w", err)
-		}
-	} else {
-		m, err := gismo.Scaled(o.scale, o.days)
-		if err != nil {
-			return model, err
-		}
-		model = m
+		return gismo.LoadModel(o.loadPath)
 	}
-	return model, model.Validate()
+	m, err := gismo.Scaled(o.scale, o.days)
+	if err != nil {
+		return m, err
+	}
+	return m, m.Validate()
 }
 
 // runMaterialized is the classic path: generate everything, serve

@@ -17,7 +17,7 @@ func TestRunGeneratesLogsAndModel(t *testing.T) {
 	logDir := filepath.Join(dir, "logs")
 	modelPath := filepath.Join(dir, "model.json")
 
-	o := options{out: logDir, scale: 500, days: 2, seed: 7, modelPath: modelPath}
+	o := options{out: logDir, scale: 500, days: 2, seed: 7, savePath: modelPath}
 	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +46,61 @@ func TestRunGeneratesLogsAndModel(t *testing.T) {
 	}
 	if m.Horizon != 2*86400 {
 		t.Errorf("horizon = %d", m.Horizon)
+	}
+
+	// The saved spec loads back through the strict path and re-saves
+	// byte-identically: the round trip the e2e twin loop depends on.
+	loaded, err := gismo.LoadModel(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resaved := filepath.Join(dir, "model2.json")
+	if err := loaded.Save(resaved); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("load -> save is not byte-identical to the original spec")
+	}
+}
+
+func TestLoadModelRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	m, err := gismo.Scaled(800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := m.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gismo.LoadModel(good); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data, []byte(`"num_clients"`), []byte(`"num_cleints"`), 1)
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gismo.LoadModel(badPath); err == nil {
+		t.Error("typoed field name: want error")
+	}
+
+	nested := bytes.Replace(data, []byte(`"alpha"`), []byte(`"alhpa"`), 1)
+	nestedPath := filepath.Join(dir, "nested.json")
+	if err := os.WriteFile(nestedPath, nested, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gismo.LoadModel(nestedPath); err == nil {
+		t.Error("typoed nested field name: want error")
 	}
 }
 

@@ -74,7 +74,7 @@ func main() {
 	clean, report := tr.Sanitize()
 	fmt.Println(report)
 
-	char, err := core.Characterize(clean, 1500, []int64{500, 1500, 3000}, nil)
+	char, err := core.Characterize(clean, 1500, []int64{500, 1500, 3000}, 1)
 	fatal(err)
 	fmt.Printf("\ncharacterization of the wire trace:\n")
 	fmt.Printf("  %d clients, %d sessions, %d transfers\n",

@@ -69,7 +69,7 @@ func main() {
 	audit := clean.AuditServerLoad(10)
 	fmt.Printf("server health: %.2f%% of active time below 10%% CPU\n", audit.TimeBelowFrac*100)
 
-	char, err := core.Characterize(clean, 1500, nil, rand.New(rand.NewSource(1)))
+	char, err := core.Characterize(clean, 1500, nil, 1)
 	fatal(err)
 
 	fmt.Println("\noperational summary:")

@@ -104,7 +104,7 @@ func TestEndToEndDiskRoundTrip(t *testing.T) {
 	}
 
 	// And the characterization runs clean on the round-tripped trace.
-	char, err := core.Characterize(clean, 1500, []int64{500, 1500, 3000}, rand.New(rand.NewSource(1)))
+	char, err := core.Characterize(clean, 1500, []int64{500, 1500, 3000}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

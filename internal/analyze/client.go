@@ -129,6 +129,11 @@ type Diversity struct {
 	CountryShare map[string]float64
 	// NumAS is the number of distinct ASes observed.
 	NumAS int
+	// ObjectShare is the descending share of transfers per live object —
+	// the feed-preference split (Table 1 observes two feeds). Element 0
+	// is the dominant feed's share; calibrate.Fit reads FeedPreference
+	// off it.
+	ObjectShare []float64
 }
 
 // AnalyzeDiversity computes the Figure 2 series from a trace.
@@ -139,8 +144,10 @@ func AnalyzeDiversity(tr *trace.Trace) (*Diversity, error) {
 	transferPerAS := make(map[int]int)
 	ipsPerAS := make(map[int]map[string]struct{})
 	countryCount := make(map[string]int)
+	objectCount := make(map[int]int)
 	for _, t := range tr.Transfers {
 		transferPerAS[t.AS]++
+		objectCount[t.Object]++
 		set := ipsPerAS[t.AS]
 		if set == nil {
 			set = make(map[string]struct{})
@@ -167,5 +174,11 @@ func AnalyzeDiversity(tr *trace.Trace) (*Diversity, error) {
 	for c, n := range countryCount {
 		d.CountryShare[c] = float64(n) / total
 	}
+
+	oCounts := make([]int, 0, len(objectCount))
+	for _, c := range objectCount {
+		oCounts = append(oCounts, c)
+	}
+	d.ObjectShare = stats.RankFrequencies(oCounts)
 	return d, nil
 }

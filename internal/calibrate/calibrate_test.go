@@ -1,0 +1,206 @@
+package calibrate
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/gismo"
+	"repro/internal/simulate"
+)
+
+// buildSource generates a workload from a known model, serves it, and
+// characterizes the result — the ground truth the round-trip tests fit
+// against.
+func buildSource(t *testing.T) (*core.Characterization, gismo.Model) {
+	t.Helper()
+	truth, err := gismo.Scaled(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gismo.GenerateSeeded(truth, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.Run(w, simulate.DefaultConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := res.Trace.Sanitize()
+	char, err := core.Characterize(clean, 1500, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return char, truth
+}
+
+// within asserts |got - want| / |want| <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > tol {
+		t.Errorf("%s = %.4f, want %.4f within %.0f%% (off by %.1f%%)",
+			name, got, want, tol*100, rel*100)
+	}
+}
+
+// TestFitRecoversKnownParameters is the self-calibration round trip:
+// parameters fitted from a synthetic trace must land within documented
+// tolerance of the generating model. Tolerances reflect estimation
+// noise at this test's scale (a few thousand transfers), not fit bias:
+// the lognormal laws recover tightly, the Zipf exponents carry the
+// finite-sample spread of log-log regression on a few hundred ranks,
+// and the interest alpha is the loosest because light clients dominate
+// the rank tail (the paper fits it over 691,889 clients; this trace has
+// under a thousand).
+func TestFitRecoversKnownParameters(t *testing.T) {
+	char, truth := buildSource(t)
+	m, rep := Fit(char)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fitted model invalid: %v", err)
+	}
+
+	if m.Horizon != truth.Horizon {
+		t.Errorf("horizon = %d, want %d", m.Horizon, truth.Horizon)
+	}
+	if m.NumClients != char.Basic.Users {
+		t.Errorf("clients = %d, want %d", m.NumClients, char.Basic.Users)
+	}
+	if m.NumObjects != truth.NumObjects {
+		t.Errorf("objects = %d, want %d", m.NumObjects, truth.NumObjects)
+	}
+
+	within(t, "intra-session gap mu", m.IntraSessionGap.Mu, truth.IntraSessionGap.Mu, 0.10)
+	within(t, "intra-session gap sigma", m.IntraSessionGap.Sigma, truth.IntraSessionGap.Sigma, 0.25)
+	within(t, "transfer length mu", m.TransferLength.Mu, truth.TransferLength.Mu, 0.10)
+	within(t, "transfer length sigma", m.TransferLength.Sigma, truth.TransferLength.Sigma, 0.10)
+	within(t, "transfers/session alpha", m.TransfersPerSession.Alpha, truth.TransfersPerSession.Alpha, 0.30)
+	within(t, "feed preference", m.FeedPreference, truth.FeedPreference, 0.15)
+	if m.Interest.Alpha <= 0 || m.Interest.Alpha > 2*truth.Interest.Alpha {
+		t.Errorf("interest alpha = %.4f, want in (0, %.4f]", m.Interest.Alpha, 2*truth.Interest.Alpha)
+	}
+
+	// The arrival-rate calibration is exact by construction: the fitted
+	// process's expected session count equals the observed one.
+	within(t, "expected sessions", rep.ExpectedSessions, float64(rep.SourceSessions), 0.01)
+	if rep.ProfileDays != 3 {
+		t.Errorf("profile days = %d, want 3", rep.ProfileDays)
+	}
+}
+
+// TestTwinPassesValidation closes the loop: a twin regenerated from the
+// fitted model must be statistically indistinguishable from its source
+// at alpha 0.01 on every tested layer.
+func TestTwinPassesValidation(t *testing.T) {
+	char, _ := buildSource(t)
+	m, _ := Fit(char)
+	twin, err := Twin(m, 11, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Validate(char, twin)
+	if rejects := rep.Rejections(); len(rejects) > 0 {
+		for _, r := range rejects {
+			t.Errorf("KS rejects: %s", r)
+		}
+	}
+	var ran int
+	for _, c := range rep.Checks {
+		if !c.Skipped {
+			ran++
+		}
+	}
+	if ran < 6 {
+		t.Errorf("only %d KS tests ran, want >= 6", ran)
+	}
+	if len(rep.Comparison) == 0 {
+		t.Error("empty comparison table")
+	}
+}
+
+// TestTwinDeterministic: equal (model, seed) pairs twin identically.
+func TestTwinDeterministic(t *testing.T) {
+	char, _ := buildSource(t)
+	m, _ := Fit(char)
+	a, err := Twin(m, 3, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Twin(m, 3, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Basic != b.Basic {
+		t.Errorf("twin basics differ: %+v vs %+v", a.Basic, b.Basic)
+	}
+	if a.Poisson.KS != b.Poisson.KS {
+		t.Errorf("replica KS differs: %v vs %v", a.Poisson.KS, b.Poisson.KS)
+	}
+}
+
+// TestValidationReportGolden pins the rendered fitted-vs-source report.
+// The whole loop is a pure function of the seeds, so the bytes are
+// stable; regenerate with UPDATE_GOLDEN=1 go test ./internal/calibrate.
+func TestValidationReportGolden(t *testing.T) {
+	char, _ := buildSource(t)
+	m, _ := Fit(char)
+	twin, err := Twin(m, 11, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Validate(char, twin)
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "validation_report.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.String(), want)
+	}
+}
+
+// TestFitDegenerateFallbacks: an impoverished characterization (empty
+// layers, no arrival series) still yields a model that validates, with
+// every fallback recorded in the notes.
+func TestFitDegenerateFallbacks(t *testing.T) {
+	char := &core.Characterization{
+		Horizon:  86400,
+		Client:   &analyze.ClientLayer{},
+		Session:  &analyze.SessionLayer{},
+		Transfer: &analyze.TransferLayer{},
+		Divers:   &analyze.Diversity{},
+	}
+	m, rep := Fit(char)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("degenerate fit does not validate: %v", err)
+	}
+	paper := gismo.Default()
+	if m.Interest.Alpha != paper.Interest.Alpha {
+		t.Errorf("interest alpha = %v, want paper default %v", m.Interest.Alpha, paper.Interest.Alpha)
+	}
+	if m.IntraSessionGap != paper.IntraSessionGap {
+		t.Errorf("intra-session gap = %+v, want paper default", m.IntraSessionGap)
+	}
+	if len(rep.Notes) < 5 {
+		t.Errorf("only %d notes for a fully degenerate fit: %v", len(rep.Notes), rep.Notes)
+	}
+}

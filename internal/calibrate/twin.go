@@ -1,0 +1,48 @@
+package calibrate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gismo"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+// Twin regenerates a synthetic workload from a fitted model and runs it
+// through the same serve → sanitize → characterize pipeline the source
+// went through, so Validate compares like with like. Generation rides
+// the sharded event stream and the sharded simulator; the realization
+// is a pure function of (model, seed) at any shard count.
+func Twin(m gismo.Model, seed int64, timeout int64) (*core.Characterization, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	shards := gismo.DefaultShards()
+	ws, err := gismo.NewStreamSeeded(m, seed, shards)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: twin generate: %w", err)
+	}
+	defer ws.Close()
+
+	var transfers []trace.Transfer
+	_, err = simulate.RunStreamSharded(ws, ws.Population(), m.Horizon, simulate.DefaultConfig(), uint64(seed), simulate.DefaultServeLanes(), simulate.StreamSinks{
+		Transfer: func(t trace.Transfer) error {
+			transfers = append(transfers, t)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: twin serve: %w", err)
+	}
+	tr, err := trace.New(m.Horizon, transfers)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: twin trace: %w", err)
+	}
+	clean, _ := tr.Sanitize()
+	char, err := core.Characterize(clean, timeout, nil, seed)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: twin characterize: %w", err)
+	}
+	return char, nil
+}

@@ -20,7 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	randv2 "math/rand/v2"
 
 	"repro/internal/analyze"
 	"repro/internal/dist"
@@ -33,6 +33,15 @@ import (
 
 // ErrBadConfig reports invalid pipeline configuration.
 var ErrBadConfig = errors.New("core: bad config")
+
+// lanePoissonReplica is the seed-derivation lane of the measurement
+// side's only random draw — the Figure 6 piecewise-Poisson replica —
+// disjoint from the generator's lanes 0–4, the server's serveLane 5,
+// and the dispatcher's laneHash 6, so characterizing a trace with the
+// same seed that generated it cannot correlate the replica's synthetic
+// arrivals with the trace's own randomness (lsmvet's seedlane analyzer
+// keeps the namespace collision-free).
+const lanePoissonReplica uint64 = 7
 
 // Config parameterizes a full reproduction run.
 type Config struct {
@@ -98,6 +107,10 @@ type BasicStats struct {
 // Characterization bundles every layer analysis of a sanitized trace —
 // all the material behind Figures 2–20.
 type Characterization struct {
+	// Horizon is the trace length in seconds — carried so downstream
+	// consumers (the calibrate.Fit parameter recovery) need no second
+	// look at the trace.
+	Horizon  int64
 	Timeout  int64
 	Basic    BasicStats
 	Client   *analyze.ClientLayer
@@ -105,6 +118,11 @@ type Characterization struct {
 	Transfer *analyze.TransferLayer
 	Divers   *analyze.Diversity
 	Sweep    []sessions.SweepPoint
+
+	// ArrivalBins counts session arrivals per 15-minute bin over the
+	// horizon — the binned arrival series behind Figure 4, and the
+	// series calibrate.Fit reads the empirical rate profile off.
+	ArrivalBins stats.BinnedSeries
 
 	// Poisson is the Figure 6 replica: interarrivals synthesized from a
 	// piecewise-stationary Poisson process whose rates are read off the
@@ -141,8 +159,7 @@ func Run(cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	w, err := gismo.Generate(cfg.Model, rng)
+	w, err := gismo.GenerateSeeded(cfg.Model, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("generate: %w", err)
 	}
@@ -165,7 +182,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	clean, sanReport := tr.Sanitize()
-	char, err := Characterize(clean, cfg.SessionTimeout, cfg.TimeoutSweep, rng)
+	char, err := Characterize(clean, cfg.SessionTimeout, cfg.TimeoutSweep, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -180,8 +197,11 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // Characterize runs the Sections 3–5 pipeline on an already-sanitized
-// trace. rng drives the Figure 6 Poisson replica; pass nil to skip it.
-func Characterize(tr *trace.Trace, timeout int64, sweep []int64, rng *rand.Rand) (*Characterization, error) {
+// trace. seed drives the Figure 6 Poisson replica through a dedicated
+// splitmix lane (lanePoissonReplica), so equal (trace, seed) pairs
+// characterize identically — the measurement side honors the same
+// determinism contract as the generator and the server.
+func Characterize(tr *trace.Trace, timeout int64, sweep []int64, seed int64) (*Characterization, error) {
 	set, err := sessions.Sessionize(tr, timeout)
 	if err != nil {
 		return nil, err
@@ -211,6 +231,7 @@ func Characterize(tr *trace.Trace, timeout int64, sweep []int64, rng *rand.Rand)
 	}
 
 	char := &Characterization{
+		Horizon:  tr.Horizon,
 		Timeout:  timeout,
 		Basic:    basicStats(tr, set),
 		Client:   client,
@@ -219,9 +240,10 @@ func Characterize(tr *trace.Trace, timeout int64, sweep []int64, rng *rand.Rand)
 		Divers:   divers,
 		Sweep:    sweepPoints,
 	}
-	if rng != nil {
-		char.Poisson = BuildPoissonReplica(set, tr.Horizon, client.Interarrivals, rng)
+	if bins, err := stats.BinCounts(set.ArrivalTimes(), tr.Horizon, analyze.TemporalBin); err == nil {
+		char.ArrivalBins = bins
 	}
+	char.Poisson = BuildPoissonReplica(set, tr.Horizon, client.Interarrivals, seed)
 	return char, nil
 }
 
@@ -241,9 +263,12 @@ func basicStats(tr *trace.Trace, set *sessions.Set) BasicStats {
 // BuildPoissonReplica reproduces the Figure 6 experiment: read the mean
 // arrival rate per 15-minute slot of the day off the measured session
 // arrivals, synthesize a piecewise-stationary Poisson arrival stream over
-// the same horizon, and compare interarrival distributions.
-func BuildPoissonReplica(set *sessions.Set, horizon int64, measured []float64, rng *rand.Rand) PoissonReplica {
+// the same horizon, and compare interarrival distributions. The
+// synthetic draws come from a splitmix generator on the seed's
+// dedicated replica lane.
+func BuildPoissonReplica(set *sessions.Set, horizon int64, measured []float64, seed int64) PoissonReplica {
 	const window = analyze.TemporalBin // 900 s, the paper's 15 minutes
+	rng := randv2.New(dist.NewSplitMix64(dist.Mix64(uint64(seed), lanePoissonReplica)))
 	arrivals := set.ArrivalTimes()
 	counts, err := stats.BinCounts(arrivals, horizon, window)
 	if err != nil {
@@ -264,7 +289,7 @@ func BuildPoissonReplica(set *sessions.Set, horizon int64, measured []float64, r
 	if err != nil {
 		return PoissonReplica{}
 	}
-	synth := pp.Arrivals(rng, float64(horizon), nil)
+	synth := pp.ArrivalsV2(rng, float64(horizon), nil)
 	gaps := make([]float64, 0, len(synth))
 	for i := 1; i < len(synth); i++ {
 		gaps = append(gaps, stats.LogDisplayValue(synth[i]-synth[i-1]))

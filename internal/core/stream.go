@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/analyze"
 	"repro/internal/gismo"
@@ -39,8 +38,7 @@ func RunStreamed(cfg Config, shards int) (*StreamReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ws, err := gismo.NewStream(cfg.Model, rng.Int63(), shards)
+	ws, err := gismo.NewStreamSeeded(cfg.Model, cfg.Seed, shards)
 	if err != nil {
 		return nil, fmt.Errorf("generate: %w", err)
 	}

@@ -271,3 +271,45 @@ func TestKolmogorovSmirnov2LargeSelfConsistency(t *testing.T) {
 		t.Errorf("self-consistency D = %v", d)
 	}
 }
+
+func TestFitZipfMLERecoversAlpha(t *testing.T) {
+	// Draw from the sampler the generator uses, refit by MLE.
+	const alpha, n = 2.7, 50
+	z, err := NewZipf(alpha, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	values := make([]int, 5000)
+	for i := range values {
+		values[i] = z.SampleRank(rng)
+	}
+	got, err := FitZipfMLE(values, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-alpha) > 0.1 {
+		t.Errorf("alpha = %v, want ~%v", got, alpha)
+	}
+}
+
+func TestFitZipfMLEEdgeCases(t *testing.T) {
+	if _, err := FitZipfMLE([]int{1}, 10); err == nil {
+		t.Error("single sample: want error")
+	}
+	if _, err := FitZipfMLE([]int{1, 2}, 0); err == nil {
+		t.Error("bad support: want error")
+	}
+	// All mass at k=1 clamps at the upper bound instead of diverging.
+	got, err := FitZipfMLE([]int{1, 1, 1, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("degenerate sample alpha = %v, want clamp 20", got)
+	}
+	// Out-of-support values are ignored.
+	if _, err := FitZipfMLE([]int{0, 11, 12}, 10); err == nil {
+		t.Error("no in-support values: want error")
+	}
+}

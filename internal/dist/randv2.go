@@ -27,3 +27,36 @@ func (a *Alias) DrawV2(rng *randv2.Rand) int {
 func (l Lognormal) SampleV2(rng *randv2.Rand) float64 {
 	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
 }
+
+// ArrivalsV2 is Arrivals for a math/rand/v2 generator: the same
+// Lewis–Shedler thinning, draw for draw, over a v2 source. It exists
+// for consumers that key their randomness to a splitmix seed lane
+// (core's Figure 6 Poisson replica) instead of a legacy *rand.Rand.
+func (p *PiecewisePoisson) ArrivalsV2(rng *randv2.Rand, horizon float64, buf []float64) []float64 {
+	out := buf[:0]
+	if horizon <= 0 {
+		return out
+	}
+	rates := p.windowRates(horizon)
+	var maxRate float64
+	for _, r := range rates {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate == 0 {
+		return out
+	}
+	t := rng.ExpFloat64() / maxRate
+	for t < horizon {
+		k := int(t / p.window)
+		if k >= len(rates) {
+			k = len(rates) - 1
+		}
+		if rng.Float64()*maxRate < rates[k] {
+			out = append(out, t)
+		}
+		t += rng.ExpFloat64() / maxRate
+	}
+	return out
+}

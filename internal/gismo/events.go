@@ -17,12 +17,12 @@ import (
 // flock in, regardless of the hour.
 type EventConfig struct {
 	// PerDay is the mean number of in-show events per day (Poisson).
-	PerDay float64
+	PerDay float64 `json:"per_day"`
 	// MeanDuration is the mean event duration in seconds (exponential).
-	MeanDuration float64
+	MeanDuration float64 `json:"mean_duration_seconds"`
 	// Amplitude is the multiplicative rate boost while an event runs
 	// (e.g. 3.0 triples the arrival rate).
-	Amplitude float64
+	Amplitude float64 `json:"amplitude"`
 }
 
 // DefaultEvents is a modest dose of drama: two events a day, half an

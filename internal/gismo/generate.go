@@ -62,6 +62,27 @@ func Generate(m Model, rng *rand.Rand) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	return drain(ws, m)
+}
+
+// GenerateSeeded is Generate for callers that hold only a seed: the
+// stream seed is derived exactly as Generate derives it from a
+// rand.New(rand.NewSource(seed)) generator, so the two forms produce
+// byte-identical workloads for equal seeds. It exists so consumers
+// outside this package need no legacy math/rand plumbing.
+func GenerateSeeded(m Model, seed int64) (*Workload, error) {
+	return Generate(m, rand.New(rand.NewSource(seed)))
+}
+
+// NewStreamSeeded is NewStream with the same seed derivation as
+// GenerateSeeded: equal seeds give a stream whose drained form is
+// byte-identical to GenerateSeeded's workload.
+func NewStreamSeeded(m Model, seed int64, shards int) (*WorkloadStream, error) {
+	return NewStream(m, rand.New(rand.NewSource(seed)).Int63(), shards)
+}
+
+// drain materializes a stream into a Workload.
+func drain(ws *WorkloadStream, m Model) (*Workload, error) {
 	defer ws.Close()
 	w := &Workload{
 		Model:      m,

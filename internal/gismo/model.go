@@ -221,12 +221,7 @@ func (m *Model) Validate() error {
 
 // MarshalJSON includes the profile shape alongside the scalar parameters.
 func (m Model) MarshalJSON() ([]byte, error) {
-	type alias Model
-	aux := struct {
-		alias
-		ProfileHourly *[24]float64 `json:"profile_hourly,omitempty"`
-		ProfileDaily  *[7]float64  `json:"profile_daily,omitempty"`
-	}{alias: alias(m)}
+	aux := modelSpec{modelAlias: modelAlias(m)}
 	if m.Profile != nil {
 		aux.ProfileHourly = &m.Profile.Hourly
 		aux.ProfileDaily = &m.Profile.Daily
@@ -234,28 +229,20 @@ func (m Model) MarshalJSON() ([]byte, error) {
 	return json.Marshal(aux)
 }
 
-// UnmarshalJSON restores the profile if its shape was serialized.
+// UnmarshalJSON restores the profile if its shape was serialized. Unlike
+// LoadModel it tolerates unknown fields and skips validation — it is
+// the embedding-friendly form for containers that carry a Model among
+// other fields.
 func (m *Model) UnmarshalJSON(data []byte) error {
-	type alias Model
 	aux := struct {
-		*alias
+		*modelAlias
 		ProfileHourly *[24]float64 `json:"profile_hourly"`
 		ProfileDaily  *[7]float64  `json:"profile_daily"`
-	}{alias: (*alias)(m)}
+	}{modelAlias: (*modelAlias)(m)}
 	if err := json.Unmarshal(data, &aux); err != nil {
 		return err
 	}
-	if aux.ProfileHourly != nil && aux.ProfileDaily != nil {
-		p, err := rate.New(m.BaseArrivalRate, *aux.ProfileHourly, *aux.ProfileDaily, 0)
-		if err != nil {
-			return err
-		}
-		m.Profile = p
-	}
-	if m.Topology.NumAS == 0 {
-		m.Topology = topology.DefaultConfig()
-	}
-	return nil
+	return m.finishDecode(aux.ProfileHourly, aux.ProfileDaily)
 }
 
 // profile resolves the effective arrival profile.

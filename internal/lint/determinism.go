@@ -24,6 +24,10 @@ var DeterministicPackages = map[string]bool{
 	// core drives the end-to-end streamed run.
 	"repro/internal/heapx": true,
 	"repro/internal/core":  true,
+	// The calibration loop (fit → twin → validate) is reproducible by
+	// contract: equal (characterization, seed) inputs yield equal models,
+	// twins, and reports.
+	"repro/internal/calibrate": true,
 }
 
 // wallclockFuncs are the package time functions that read (or schedule

@@ -203,6 +203,24 @@ func (c Comparison) RelErr() float64 {
 	return math.Abs(c.Measured-c.Paper) / math.Abs(c.Paper)
 }
 
+// ComparisonTable renders comparisons as an aligned ASCII table with
+// caller-chosen value-column labels — the Table-2-style report of the
+// calibration loop, where the columns are "Source" and "Fitted" (or
+// "Twin") rather than "Paper" and "Measured". The Comparison.Paper
+// field feeds the left column and Measured the right.
+func ComparisonTable(w io.Writer, title, leftLabel, rightLabel string, comparisons []Comparison) error {
+	t := Table{Title: title, Headers: []string{"Layer", "Quantity", leftLabel, rightLabel, "Rel. err", "Note"}}
+	for _, c := range comparisons {
+		rel := "-"
+		if !math.IsInf(c.RelErr(), 0) {
+			rel = fmt.Sprintf("%.1f%%", c.RelErr()*100)
+		}
+		t.AddRow(c.Experiment, c.Quantity,
+			fmt.Sprintf("%.6g", c.Paper), fmt.Sprintf("%.6g", c.Measured), rel, c.Note)
+	}
+	return t.Render(w)
+}
+
 // MarkdownTable renders comparisons as a markdown table for
 // EXPERIMENTS.md.
 func MarkdownTable(w io.Writer, comparisons []Comparison) error {
